@@ -1,0 +1,43 @@
+// Command catalog-merge reconciles halo-center catalogs into one complete
+// Level 3 product — the paper's final workflow step: "the two files from
+// the Titan and Moonlight analysis were merged to provide a complete set
+// of halo centers and properties" (§4.1).
+//
+// Later inputs supersede earlier ones on duplicate halo tags, so pass the
+// in-situ catalog first and the off-line catalog last:
+//
+//	catalog-merge -out complete.centers step040.centers offline.centers
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/catalog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("catalog-merge: ")
+	out := flag.String("out", "", "output path (default: stdout)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	merged, err := catalog.MergeFiles(flag.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		if err := catalog.Write(os.Stdout, merged); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := catalog.WriteFile(*out, merged); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("merged %d inputs into %s (%d halos)", flag.NArg(), *out, len(merged))
+}

@@ -1,0 +1,196 @@
+// Command cosmotools is the stand-alone analysis driver: the same
+// algorithms HACC invokes in-situ, run off-line over stored particle data
+// — "CosmoTools also provides a stand-alone driver that allows the
+// algorithms to be invoked asynchronously by co-scheduling another
+// analysis run" (§3.1).
+//
+// It reads a gio particle file (Level 1 snapshot or Level 2 extraction),
+// runs the configured analyses, and writes Level 3 products next to the
+// input. The co-scheduling listener (cmd/listener) templates invocations
+// of this tool.
+//
+// Usage:
+//
+//	cosmotools -in out/step030.gio -box 64 [-config ct.ini] [-mode full|centers]
+//
+// Modes:
+//
+//	full     halo finding + centers (+ optional P(k), SO, subhalos via config)
+//	centers  MBP centers only, treating every input block as one halo's
+//	         particles (the Level 2 path: blocks were written per large halo)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/center"
+	"repro/internal/cosmo"
+	"repro/internal/cosmotools"
+	"repro/internal/gio"
+	"repro/internal/halo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmotools: ")
+	var (
+		inPath  = flag.String("in", "", "input gio particle file (required)")
+		box     = flag.Float64("box", 64, "box side, Mpc/h")
+		np      = flag.Int("np", 0, "original particles per dimension (for particle mass); 0 derives from count")
+		cfgPath = flag.String("config", "", "CosmoTools config (INI)")
+		mode    = flag.String("mode", "full", "full | centers")
+		outPath = flag.String("out", "", "output path (default: input + .centers)")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *outPath, *box, *np, *cfgPath, *mode); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(inPath, outPath string, box float64, np int, cfgPath, mode string) error {
+	blocks, err := gio.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		outPath = strings.TrimSuffix(inPath, ".gio") + ".centers"
+	}
+	params := cosmo.Default()
+	merged := gio.Merge(blocks)
+	if np == 0 {
+		// Assume the file holds the full box.
+		np = nearestCube(merged.N())
+	}
+	mass := params.ParticleMass(box, np)
+	log.Printf("read %d particles in %d blocks from %s", merged.N(), len(blocks), inPath)
+
+	start := time.Now()
+	var centers []cosmotools.CenterRecord
+	switch mode {
+	case "full":
+		ctx := cosmotools.NewContext(1, 1, box, mass, merged)
+		var manager cosmotools.Manager
+		hf := cosmotools.NewHaloFinder()
+		link := 0.2 * box / float64(np)
+		if err := hf.SetParameters(map[string]string{
+			"linking_length": fmt.Sprint(link), "min_size": "10",
+		}); err != nil {
+			return err
+		}
+		if err := manager.Register(hf); err != nil {
+			return err
+		}
+		if cfgPath != "" {
+			cfg, err := cosmotools.ParseConfigFile(cfgPath)
+			if err != nil {
+				return err
+			}
+			for _, name := range cfg.SectionNames() {
+				switch name {
+				case "powerspectrum":
+					if err := manager.Register(cosmotools.NewPowerSpectrum()); err != nil {
+						return err
+					}
+				case "somass":
+					if err := manager.Register(cosmotools.NewSOMass()); err != nil {
+						return err
+					}
+				case "subhalofinder":
+					if err := manager.Register(cosmotools.NewSubhaloFinder()); err != nil {
+						return err
+					}
+				}
+			}
+			if err := manager.Configure(cfg); err != nil {
+				return err
+			}
+		}
+		if err := manager.Execute(ctx); err != nil {
+			return err
+		}
+		centers = ctx.Outputs["halofinder/centers"].([]cosmotools.CenterRecord)
+		if cat, ok := ctx.Outputs["halofinder/catalog"].(*halo.Catalog); ok {
+			log.Printf("found %d halos (largest %d particles)", len(cat.Halos), cat.LargestCount())
+		}
+	case "centers":
+		// Level 2 path: each block is one large halo's particle set.
+		for _, b := range blocks {
+			p := b.Particles
+			if p.N() == 0 {
+				continue
+			}
+			ux, uy, uz := center.Unwrap(p.X, p.Y, p.Z, allIndices(p.N()), box)
+			res, err := center.BruteForce(ux, uy, uz, center.Options{Mass: mass, Softening: 1e-3})
+			if err != nil {
+				return err
+			}
+			centers = append(centers, cosmotools.CenterRecord{
+				HaloTag:   minTag(p.Tag),
+				MBPTag:    p.Tag[res.Index],
+				Pos:       [3]float64{p.X[res.Index], p.Y[res.Index], p.Z[res.Index]},
+				Potential: res.Potential,
+				Count:     p.N(),
+			})
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	log.Printf("analysis took %.2fs", time.Since(start).Seconds())
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "# halo_tag mbp_tag x y z potential count")
+	for _, c := range centers {
+		fmt.Fprintf(f, "%d %d %.6f %.6f %.6f %.6g %d\n",
+			c.HaloTag, c.MBPTag, c.Pos[0], c.Pos[1], c.Pos[2], c.Potential, c.Count)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d centers to %s", len(centers), outPath)
+	return nil
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func minTag(tags []int64) int64 {
+	if len(tags) == 0 {
+		return -1
+	}
+	m := tags[0]
+	for _, t := range tags[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// nearestCube returns the cube root of n rounded to the nearest integer.
+func nearestCube(n int) int {
+	r := 1
+	for r*r*r < n {
+		r++
+	}
+	if r > 1 && (r*r*r-n) > (n-(r-1)*(r-1)*(r-1)) {
+		r--
+	}
+	return r
+}

@@ -1,0 +1,321 @@
+// Command hacc-sim runs the particle-mesh cosmology simulation with
+// CosmoTools in-situ analysis, reproducing the paper's simulation-side
+// set-up: "The simulation 'input deck' contains all the simulation
+// parameters for the main run. It also includes a trigger for CosmoTools
+// and a pointer to the CosmoTools configuration file" (§3).
+//
+// Usage:
+//
+//	hacc-sim -deck input.deck
+//	hacc-sim -np 32 -steps 20 -out ./run    (deckless quick run)
+//
+// Outputs per analysis step, in the output directory:
+//
+//	stepNNN.gio        Level 1 snapshot (when snapshot_every triggers)
+//	stepNNN.l2.gio     Level 2 (particles of halos above the split)
+//	stepNNN.centers    Level 3 halo centers (text)
+//	stepNNN.done       marker file the co-scheduling listener watches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/cosmo"
+	"repro/internal/cosmotools"
+	"repro/internal/gio"
+	"repro/internal/ic"
+	"repro/internal/nbody"
+	"repro/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hacc-sim: ")
+	var (
+		deckPath = flag.String("deck", "", "input deck path (INI; overrides the flags below)")
+		np       = flag.Int("np", 32, "particles per dimension (power of two)")
+		ng       = flag.Int("ng", 0, "PM grid per dimension (defaults to np)")
+		box      = flag.Float64("box", 64, "box side, Mpc/h")
+		zInit    = flag.Float64("z-init", 50, "starting redshift")
+		zFinal   = flag.Float64("z-final", 0, "final redshift")
+		steps    = flag.Int("steps", 20, "time steps")
+		seed     = flag.Int64("seed", 1, "initial-conditions seed")
+		outDir   = flag.String("out", "hacc-out", "output directory")
+		ctConfig = flag.String("cosmotools", "", "CosmoTools config path (empty: built-in defaults)")
+		snapshot = flag.Int("snapshot-every", 0, "write Level 1 snapshots every N steps (0: never)")
+		analyze  = flag.Int("analyze-every", 0, "run analysis every N steps (0: final step only)")
+		renderPx = flag.Int("render", 0, "write a Figure 2-style density projection PNG of the final step at this pixel size (0: off)")
+		ckptEvry = flag.Int("checkpoint-every", 0, "write full-precision checkpoints every N steps (0: never)")
+		restart  = flag.String("restart", "", "resume from a checkpoint file instead of generating initial conditions")
+	)
+	flag.Parse()
+	cfg := runConfig{
+		NP: *np, NG: *ng, Box: *box, ZInit: *zInit, ZFinal: *zFinal,
+		Steps: *steps, Seed: *seed, OutDir: *outDir, CTConfig: *ctConfig,
+		SnapshotEvery: *snapshot, AnalyzeEvery: *analyze, RenderPixels: *renderPx,
+		CheckpointEvery: *ckptEvry, Restart: *restart,
+	}
+	if *deckPath != "" {
+		if err := cfg.loadDeck(*deckPath); err != nil {
+			log.Fatalf("reading deck: %v", err)
+		}
+	}
+	if err := run(cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type runConfig struct {
+	NP, NG          int
+	Box             float64
+	ZInit, ZFinal   float64
+	Steps           int
+	Seed            int64
+	OutDir          string
+	CTConfig        string
+	SnapshotEvery   int
+	AnalyzeEvery    int
+	RenderPixels    int
+	CheckpointEvery int
+	Restart         string
+}
+
+// loadDeck reads [simulation] and [cosmotools] sections of an input deck.
+func (c *runConfig) loadDeck(path string) error {
+	cfg, err := cosmotools.ParseConfigFile(path)
+	if err != nil {
+		return err
+	}
+	sim := cfg.Section("simulation")
+	setInt := func(dst *int, key string) error {
+		if v, ok := sim[key]; ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("deck %s=%q: %w", key, v, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	setFloat := func(dst *float64, key string) error {
+		if v, ok := sim[key]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("deck %s=%q: %w", key, v, err)
+			}
+			*dst = f
+		}
+		return nil
+	}
+	for _, step := range []error{
+		setInt(&c.NP, "np"), setInt(&c.NG, "ng"), setInt(&c.Steps, "steps"),
+		setInt(&c.SnapshotEvery, "snapshot_every"), setInt(&c.AnalyzeEvery, "analyze_every"),
+		setFloat(&c.Box, "box"), setFloat(&c.ZInit, "z_init"), setFloat(&c.ZFinal, "z_final"),
+	} {
+		if step != nil {
+			return step
+		}
+	}
+	if v, ok := sim["seed"]; ok {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("deck seed=%q: %w", v, err)
+		}
+		c.Seed = n
+	}
+	if v, ok := sim["output_dir"]; ok {
+		c.OutDir = v
+	}
+	ct := cfg.Section("cosmotools")
+	if v, ok := ct["config"]; ok {
+		c.CTConfig = v
+	}
+	if v, ok := ct["enabled"]; ok {
+		enabled, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("deck cosmotools enabled=%q: %w", v, err)
+		}
+		if !enabled {
+			c.CTConfig = "-"
+		}
+	}
+	return nil
+}
+
+func run(cfg runConfig) error {
+	if cfg.NG <= 0 {
+		cfg.NG = cfg.NP
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return err
+	}
+	params := cosmo.Default()
+	var sim *nbody.Simulation
+	if cfg.Restart != "" {
+		var err error
+		sim, err = nbody.LoadCheckpointFile(cfg.Restart)
+		if err != nil {
+			return fmt.Errorf("restart: %w", err)
+		}
+		// Honour the checkpoint's own geometry and cosmology.
+		cfg.Box = sim.Box
+		cfg.NG = sim.NG
+		params = sim.Cosmo
+		log.Printf("restarted from %s at z=%.2f (%d particles)", cfg.Restart, sim.Redshift(), sim.P.N())
+	} else {
+		log.Printf("generating %d^3 Zel'dovich ICs in a %.1f Mpc/h box at z=%.1f (seed %d)",
+			cfg.NP, cfg.Box, cfg.ZInit, cfg.Seed)
+		particles, a0, err := ic.Generate(params, ic.Options{
+			NP: cfg.NP, Box: cfg.Box, ZInit: cfg.ZInit, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		sim, err = nbody.NewSimulation(params, cfg.Box, cfg.NG, particles, a0)
+		if err != nil {
+			return err
+		}
+	}
+
+	// CosmoTools set-up: register the tools, then configure from the
+	// config file, or fall back to defaults scaled to the box (linking
+	// length 0.2x the mean inter-particle spacing).
+	var manager cosmotools.Manager
+	disabled := cfg.CTConfig == "-"
+	if !disabled {
+		ps := cosmotools.NewPowerSpectrum()
+		hf := cosmotools.NewHaloFinder()
+		// The optional tools are registered but dormant (schedule never
+		// fires) until a config section enables them.
+		som := cosmotools.NewSOMass()
+		if err := som.SetParameters(map[string]string{"every": "0"}); err != nil {
+			return err
+		}
+		shf := cosmotools.NewSubhaloFinder()
+		if err := shf.SetParameters(map[string]string{"every": "0"}); err != nil {
+			return err
+		}
+		hp := cosmotools.NewHaloProperties()
+		if err := hp.SetParameters(map[string]string{"every": "0"}); err != nil {
+			return err
+		}
+		for _, alg := range []cosmotools.Algorithm{ps, hf, som, shf, hp} {
+			if err := manager.Register(alg); err != nil {
+				return err
+			}
+		}
+		if cfg.CTConfig != "" {
+			ctCfg, err := cosmotools.ParseConfigFile(cfg.CTConfig)
+			if err != nil {
+				return fmt.Errorf("cosmotools config: %w", err)
+			}
+			if err := manager.Configure(ctCfg); err != nil {
+				return err
+			}
+		} else {
+			link := 0.2 * cfg.Box / float64(cfg.NP)
+			if err := hf.SetParameters(map[string]string{
+				"linking_length": fmt.Sprint(link),
+				"min_size":       "10",
+			}); err != nil {
+				return err
+			}
+			if err := ps.SetParameters(map[string]string{
+				"grid": fmt.Sprint(cfg.NG), "bins": "16",
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	mass := params.ParticleMass(cfg.Box, cfg.NP)
+	aEnd := cosmo.ScaleFactor(cfg.ZFinal)
+	log.Printf("evolving to z=%.2f in %d steps (particle mass %.3g Msun/h)", cfg.ZFinal, cfg.Steps, mass)
+	start := time.Now()
+	err := sim.Run(aEnd, cfg.Steps, func(step int) error {
+		final := step == cfg.Steps
+		if cfg.SnapshotEvery > 0 && step%cfg.SnapshotEvery == 0 {
+			path := filepath.Join(cfg.OutDir, fmt.Sprintf("step%03d.gio", step))
+			if err := gio.WriteFile(path, []gio.Block{{Rank: 0, Particles: sim.P}}); err != nil {
+				return err
+			}
+			log.Printf("step %3d (z=%.2f): wrote Level 1 snapshot %s", step, sim.Redshift(), path)
+		}
+		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
+			path := filepath.Join(cfg.OutDir, fmt.Sprintf("ckpt%03d.bin", step))
+			if err := sim.SaveCheckpointFile(path); err != nil {
+				return err
+			}
+			log.Printf("step %3d: wrote checkpoint %s", step, path)
+		}
+		analyze := final || (cfg.AnalyzeEvery > 0 && step%cfg.AnalyzeEvery == 0)
+		if !analyze || disabled {
+			return nil
+		}
+		ctx := cosmotools.NewContext(step, sim.A, cfg.Box, mass, sim.P)
+		if err := manager.Execute(ctx); err != nil {
+			return err
+		}
+		return writeProducts(cfg.OutDir, step, ctx)
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.RenderPixels > 0 {
+		path := filepath.Join(cfg.OutDir, "final.png")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = render.WritePNG(f, sim.P, cfg.Box, render.Options{Pixels: cfg.RenderPixels, Axis: 2, Gamma: 0.8})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("wrote density projection to %s", path)
+	}
+	log.Printf("run complete in %.1fs", time.Since(start).Seconds())
+	return nil
+}
+
+// writeProducts lands the analysis outputs plus the listener marker.
+func writeProducts(outDir string, step int, ctx *cosmotools.Context) error {
+	if l2Any, ok := ctx.Outputs["halofinder/level2"]; ok {
+		l2 := l2Any.(*cosmotools.Level2)
+		if l2.Particles.N() > 0 {
+			path := filepath.Join(outDir, fmt.Sprintf("step%03d.l2.gio", step))
+			if err := gio.WriteFile(path, []gio.Block{{Rank: 0, Particles: l2.Particles}}); err != nil {
+				return err
+			}
+			log.Printf("step %3d: wrote Level 2 (%d particles in %d large halos) to %s",
+				step, l2.Particles.N(), len(l2.Spans), path)
+		}
+	}
+	if centersAny, ok := ctx.Outputs["halofinder/centers"]; ok {
+		centers := centersAny.([]cosmotools.CenterRecord)
+		path := filepath.Join(outDir, fmt.Sprintf("step%03d.centers", step))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "# halo_tag mbp_tag x y z potential count")
+		for _, c := range centers {
+			fmt.Fprintf(f, "%d %d %.6f %.6f %.6f %.6g %d\n",
+				c.HaloTag, c.MBPTag, c.Pos[0], c.Pos[1], c.Pos[2], c.Potential, c.Count)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("step %3d: wrote %d Level 3 centers to %s", step, len(centers), path)
+	}
+	marker := filepath.Join(outDir, fmt.Sprintf("step%03d.done", step))
+	return os.WriteFile(marker, []byte(fmt.Sprintf("%d\n", step)), 0o644)
+}

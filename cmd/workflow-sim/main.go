@@ -1,0 +1,314 @@
+// Command workflow-sim regenerates every table and figure of the paper's
+// evaluation from the calibrated platform model (see DESIGN.md §4 and
+// EXPERIMENTS.md for paper-vs-model numbers):
+//
+//	workflow-sim -table 1       data hierarchy sizes (Table 1)
+//	workflow-sim -table 2       per-slice Find/Center node times (Table 2)
+//	workflow-sim -table 3       workflow comparison summary (Table 3)
+//	workflow-sim -table 4       detailed phase breakdown (Table 4)
+//	workflow-sim -figure 3      halo mass function with the 300k split
+//	workflow-sim -figure 4      projected per-node center-time histogram
+//	workflow-sim -qcontinuum    the §4.1 Q Continuum case study
+//	workflow-sim -subhalo       the §4.2 subhalo imbalance
+//	workflow-sim -autosplit     the §4.1 automated split rule
+//	workflow-sim -coschedule N  co-scheduling over N timesteps (wall-clock overlap)
+//	workflow-sim -campaign N    full co-scheduled campaign with pile-up statistics
+//	workflow-sim -machines      §4.2 Titan/Rhea/Moonlight analysis-machine choice
+//	workflow-sim -all           everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("workflow-sim: ")
+	var (
+		table      = flag.Int("table", 0, "regenerate Table 1-4")
+		figure     = flag.Int("figure", 0, "regenerate Figure 3 or 4")
+		qcontinuum = flag.Bool("qcontinuum", false, "run the Q Continuum case study")
+		subhalo    = flag.Bool("subhalo", false, "run the subhalo imbalance study")
+		autosplit  = flag.Bool("autosplit", false, "run the automated split rule")
+		coschedule = flag.Int("coschedule", 0, "co-scheduling demo over N timesteps")
+		campaign   = flag.Int("campaign", 0, "full co-scheduled campaign over N snapshots (pile-up statistics)")
+		machines   = flag.Bool("machines", false, "compare analysis machines for the post job (§4.2 Titan/Rhea/Moonlight trade-off)")
+		all        = flag.Bool("all", false, "run everything")
+		seed       = flag.Int64("seed", 1, "population synthesis seed")
+	)
+	flag.Parse()
+	ran := false
+	run := func(enabled bool, fn func(int64) error) {
+		if !enabled && !*all {
+			return
+		}
+		ran = true
+		if err := fn(*seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	run(*table == 1, table1)
+	run(*table == 2, table2)
+	run(*table == 3, table3)
+	run(*table == 4, table4)
+	run(*figure == 3, figure3)
+	run(*figure == 4, figure4)
+	run(*qcontinuum, qContinuum)
+	run(*subhalo, subhaloStudy)
+	run(*autosplit, autoSplit)
+	run(*machines, machineComparison)
+	if *coschedule > 0 || *all {
+		ran = true
+		n := *coschedule
+		if n <= 0 {
+			n = 5
+		}
+		if err := coScheduleDemo(*seed, n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if *campaign > 0 || *all {
+		ran = true
+		n := *campaign
+		if n <= 0 {
+			n = 100
+		}
+		if err := campaignStudy(*seed, n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func machineComparison(seed int64) error {
+	s, err := core.DownscaledScenario(seed)
+	if err != nil {
+		return err
+	}
+	choices, err := core.CompareAnalysisMachines(s, []platform.Machine{
+		platform.Titan(), platform.Rhea(), platform.Moonlight(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Analysis-machine choice for the combined workflow's post job (§4.2):")
+	fmt.Printf("  %-10s %6s %14s %12s %10s %s\n", "machine", "GPUs", "analysis [s]", "queue [s]", "core hrs", "small-job cap")
+	for _, c := range choices {
+		gpus := "no"
+		if c.Machine.HasGPU {
+			gpus = "yes"
+		}
+		cap := "-"
+		if c.SubjectToSmallJobPolicy {
+			cap = fmt.Sprintf("max %d jobs < %d nodes", c.Machine.SmallJobLimit, c.Machine.SmallJobNodes)
+		}
+		fmt.Printf("  %-10s %6s %14.0f %12.0f %10.1f %s\n",
+			c.Machine.Name, gpus, c.PostAnalysisSeconds, c.QueueWaitSeconds, c.CoreHours, cap)
+	}
+	return nil
+}
+
+func campaignStudy(seed int64, steps int) error {
+	s, err := core.DownscaledScenario(seed)
+	if err != nil {
+		return err
+	}
+	s.PostQueueWait = 0
+	rep, err := core.Campaign(s, steps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Co-scheduled campaign over %d snapshots (§3.2 pile-up behaviour):\n", rep.Timesteps)
+	fmt.Printf("  simulation finished:   %.0f s\n", rep.SimWallClock)
+	fmt.Printf("  all analysis done:     %.0f s (trailing %.0f s after sim)\n", rep.TotalWallClock, rep.TrailingSeconds)
+	fmt.Printf("  simple workflow would finish: %.0f s (co-scheduling saves %.0f%%)\n",
+		rep.SimpleWallClock, 100*(1-rep.TotalWallClock/rep.SimpleWallClock))
+	fmt.Printf("  analysis jobs: %d, %.0f%% overlapped the simulation, max pile-up %d\n",
+		rep.AnalysisJobs, 100*rep.OverlapFraction, rep.MaxPileUp)
+	return nil
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1e12:
+		return fmt.Sprintf("%.1f TB", b/1e12)
+	case b >= 1e9:
+		return fmt.Sprintf("%.1f GB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.1f MB", b/1e6)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+func table1(seed int64) error {
+	rows, err := core.Table1(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1 — data hierarchy, last step only (paper: 40 GB/5 GB/43 MB and 20 TB/4 TB/10 GB):")
+	for _, r := range rows {
+		fmt.Printf("  %-8s Level 1 %-10s Level 2 %-10s Level 3 %s\n",
+			r.Label, fmtBytes(r.Level1Bytes), fmtBytes(r.Level2Bytes), fmtBytes(r.Level3Bytes))
+	}
+	return nil
+}
+
+func table2(seed int64) error {
+	rows, err := core.Table2(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2 — per-slice node seconds (paper: find 352-2143; center 19-21,250):")
+	fmt.Println("  slice     z   find-max  find-min  center-max  center-min")
+	for _, r := range rows {
+		fmt.Printf("  %5d %5.3f %10.0f %9.0f %11.0f %11.1f\n",
+			r.Slice, r.Redshift, r.FindMax, r.FindMin, r.CenterMax, r.CenterMin)
+	}
+	return nil
+}
+
+func table3(seed int64) error {
+	s, err := core.DownscaledScenario(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 3 — workflow comparison (paper core hours: 193 / 356 / 135 / same / n-a):")
+	fmt.Printf("  %-30s %-8s %-8s %-15s %s\n", "method", "I/O", "redist.", "queueing", "core hrs")
+	for _, k := range core.Kinds() {
+		r, err := core.Run(s, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-30s %-8s %-8s %-15s %7.0f\n",
+			r.Workflow, r.IOLevel, r.RedistLevel, r.Queueing, r.AnalysisCoreHours)
+	}
+	return nil
+}
+
+func table4(seed int64) error {
+	s, err := core.DownscaledScenario(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 4 — detailed phases, seconds (paper rows: in-situ 772/722/0.3; off-line 779/0/5 then 5/435/892/0.3; combined 774/361/3 then 3/75/1075/0.2):")
+	fmt.Printf("  %-30s | %8s %9s %6s | %7s %6s %7s %9s %6s | %8s\n",
+		"workflow", "sim", "analysis", "write", "queue", "read", "redist", "analysis", "write", "wall")
+	for _, k := range core.Kinds() {
+		r, err := core.Run(s, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-30s | %8.0f %9.0f %6.1f | %7.0f %6.1f %7.1f %9.0f %6.2f | %8.0f\n",
+			r.Workflow, r.SimSeconds, r.AnalysisSeconds, r.SimWriteSeconds,
+			r.PostQueueWait, r.ReadSeconds, r.RedistributeSeconds,
+			r.PostAnalysisSeconds, r.PostWriteSeconds, r.WallClock)
+	}
+	return nil
+}
+
+func figure3(seed int64) error {
+	bins, total, off, err := core.Figure3(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 3 — halo mass function at z=0 (paper: 167,686,789 halos, 84,719 off-loaded)\n")
+	fmt.Printf("  synthesized: %.0f halos, %.0f off-loaded (> 300k particles)\n", total, off)
+	fmt.Println("  particles       mass [Msun/h]   count      (o = off-loaded)")
+	for _, b := range bins {
+		mark := " "
+		if b.Offloaded {
+			mark = "o"
+		}
+		fmt.Printf("  %12.3g  %14.3g  %10.3g %s\n", b.Particles, b.MassMsun, b.Count, mark)
+	}
+	return nil
+}
+
+func figure4(seed int64) error {
+	h, err := core.Figure4(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4 — projected per-node center-finding times for off-loaded halos")
+	fmt.Println("  (16,384 nodes, 1000 s bins, log-scaled bars; paper's tail reaches 21,250 s)")
+	fmt.Print(h.Render(40, true))
+	return nil
+}
+
+func qContinuum(seed int64) error {
+	r, err := core.QContinuumStudy(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r)
+	return nil
+}
+
+func subhaloStudy(seed int64) error {
+	slow, fast, err := core.SubhaloImbalance(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Subhalo imbalance (§4.2; paper: 8172 s slowest, 1457 s fastest, >5x):\n")
+	fmt.Printf("  slowest node %.0f s, fastest %.0f s, imbalance %.1fx\n", slow, fast, slow/fast)
+	return nil
+}
+
+func autoSplit(seed int64) error {
+	s, err := core.QContinuumScenario(seed)
+	if err != nil {
+		return err
+	}
+	d, err := core.AutoSplit(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Automated split rule (§4.1):")
+	fmt.Printf("  t_io              = %.0f s\n", d.TIOSeconds)
+	fmt.Printf("  m_max_io          = %d particles\n", d.MaxInSituSize)
+	fmt.Printf("  m_max_sim         = %d particles\n", d.LargestSimSize)
+	fmt.Printf("  off-load needed   = %v (threshold %d)\n", d.OffloadNeeded, d.Threshold)
+	fmt.Printf("  co-schedule ranks = %d  (T=%.0f s, t_max=%.0f s)\n",
+		d.CoScheduleRanks, d.TotalOffloadSeconds, d.LargestHaloSeconds)
+	return nil
+}
+
+func coScheduleDemo(seed int64, steps int) error {
+	s, err := core.DownscaledScenario(seed)
+	if err != nil {
+		return err
+	}
+	s.Timesteps = steps
+	s.PostQueueWait = 0
+	simple, err := core.Run(s, core.CombinedSimple)
+	if err != nil {
+		return err
+	}
+	co, err := core.Run(s, core.CombinedCoScheduled)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Co-scheduling over %d timesteps:\n", steps)
+	fmt.Printf("  simple (post job after sim):  wall %.0f s\n", simple.WallClock)
+	fmt.Printf("  co-scheduled (listener):      wall %.0f s (%.0f%% of simple)\n",
+		co.WallClock, 100*co.WallClock/simple.WallClock)
+	fmt.Printf("  analysis job starts: ")
+	for _, t := range co.AnalysisJobStarts {
+		fmt.Printf("%.0f ", t)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,106 @@
+// Tracking: follow halos across simulation snapshots — the time-evolution
+// analysis the paper's introduction motivates ("analysis tasks are carried
+// out to not only capture these structures within one time snapshot but
+// also to track their evolution ... Over time, halos merge and accrete
+// mass", §3). The example evolves a box, catalogs halos at several
+// redshifts, links them by shared particle tags, and prints the largest
+// halo's growth history and any mergers.
+//
+//	go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cosmo"
+	"repro/internal/halo"
+	"repro/internal/ic"
+	"repro/internal/nbody"
+	"repro/internal/tracking"
+)
+
+func main() {
+	log.SetFlags(0)
+	params := cosmo.Default()
+	const (
+		np    = 32
+		box   = 40.0
+		steps = 10 // steps between snapshots
+	)
+	particles, a0, err := ic.Generate(params, ic.Options{NP: np, Box: box, ZInit: 50, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := nbody.NewSimulation(params, box, np, particles, a0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot the box at a sequence of scale factors.
+	targets := []float64{0.35, 0.5, 0.65, 0.8, 1.0}
+	type snap struct {
+		z   float64
+		p   *nbody.Particles
+		cat *halo.Catalog
+	}
+	var snaps []snap
+	fofOpts := halo.Options{LinkingLength: 0.2 * box / np, MinSize: 10, Periodic: true}
+	for _, aT := range targets {
+		if err := sim.Run(aT, steps, nil); err != nil {
+			log.Fatal(err)
+		}
+		frozen := sim.P.Clone()
+		cat, err := halo.FOF(frozen, box, fofOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snaps = append(snaps, snap{z: sim.Redshift(), p: frozen, cat: cat})
+		fmt.Printf("z=%5.2f: %3d halos, largest %4d particles\n",
+			sim.Redshift(), len(cat.Halos), cat.LargestCount())
+	}
+
+	// Link each consecutive snapshot pair.
+	var matches []*tracking.Matches
+	fmt.Println("\nlinks between snapshots:")
+	for i := 0; i+1 < len(snaps); i++ {
+		m, err := tracking.Match(snaps[i].p, snaps[i].cat, snaps[i+1].p, snaps[i+1].cat,
+			tracking.Options{MinShared: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches = append(matches, m)
+		fmt.Printf("  z=%.2f -> z=%.2f: %d links, %d mergers, %d orphans\n",
+			snaps[i].z, snaps[i+1].z, len(m.Links), len(m.Mergers), len(m.Orphans))
+		for tag, n := range m.Mergers {
+			fmt.Printf("    merger: %d progenitors -> halo %d\n", n, tag)
+		}
+	}
+
+	// Mass history of the final largest halo along its main-progenitor line.
+	final := snaps[len(snaps)-1]
+	if len(final.cat.Halos) == 0 {
+		log.Fatal("no halos at z=0")
+	}
+	target := final.cat.Halos[0]
+	history, err := tracking.Track(target.Tag, matches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmain-progenitor history of the final largest halo (tag %d, %d particles):\n",
+		target.Tag, target.Count())
+	// history.Tags is earliest-first and may be shorter than the snapshot
+	// list when the halo formed late.
+	offset := len(snaps) - len(history.Tags)
+	for i, tag := range history.Tags {
+		s := snaps[offset+i]
+		count := 0
+		for hi := range s.cat.Halos {
+			if s.cat.Halos[hi].Tag == tag {
+				count = s.cat.Halos[hi].Count()
+				break
+			}
+		}
+		fmt.Printf("  z=%5.2f: tag %6d, %4d particles\n", s.z, tag, count)
+	}
+}

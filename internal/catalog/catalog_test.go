@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cosmotools"
+)
+
+func sample() []cosmotools.CenterRecord {
+	return []cosmotools.CenterRecord{
+		{HaloTag: 17, MBPTag: 22886, Pos: [3]float64{12.3, 4.5, 0.8}, Potential: -3.1e13, Count: 842},
+		{HaloTag: 3, MBPTag: 10245, Pos: [3]float64{1, 2, 3}, Potential: -9.9e12, Count: 120},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), Header) {
+		t.Error("missing header")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d", len(got))
+	}
+	// Sorted by tag on write.
+	if got[0].HaloTag != 3 || got[1].HaloTag != 17 {
+		t.Errorf("order = %d, %d", got[0].HaloTag, got[1].HaloTag)
+	}
+	if got[1].MBPTag != 22886 || got[1].Count != 842 {
+		t.Errorf("record = %+v", got[1])
+	}
+	if got[1].Pos[0] != 12.3 {
+		t.Errorf("pos = %v", got[1].Pos)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"1 2 3 4 5 6",               // 6 fields
+		"x 2 1.0 1.0 1.0 -1 5",      // bad tag
+		"1 y 1.0 1.0 1.0 -1 5",      // bad mbp
+		"1 2 zz 1.0 1.0 -1 5",       // bad pos
+		"1 2 1.0 1.0 1.0 ww 5",      // bad potential
+		"1 2 1.0 1.0 1.0 -1 notint", // bad count
+	}
+	for i, line := range bad {
+		if _, err := Read(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+	// Comments and blanks are fine.
+	got, err := Read(strings.NewReader("# comment\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("comment-only: %v %v", got, err)
+	}
+}
+
+func TestFileRoundTripAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	inSitu := filepath.Join(dir, "insitu.centers")
+	offline := filepath.Join(dir, "offline.centers")
+	if err := WriteFile(inSitu, []cosmotools.CenterRecord{
+		{HaloTag: 1, MBPTag: 11, Count: 50},
+		{HaloTag: 5, MBPTag: 55, Count: 900}, // placeholder, superseded
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(offline, []cosmotools.CenterRecord{
+		{HaloTag: 5, MBPTag: 99, Count: 900},
+		{HaloTag: 9, MBPTag: 91, Count: 1200},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeFiles([]string{inSitu, offline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if merged[0].HaloTag != 1 || merged[1].HaloTag != 5 || merged[2].HaloTag != 9 {
+		t.Errorf("order = %+v", merged)
+	}
+	if merged[1].MBPTag != 99 {
+		t.Error("later catalog should supersede")
+	}
+	if _, err := MergeFiles(nil); err == nil {
+		t.Error("expected no-input error")
+	}
+	if _, err := MergeFiles([]string{filepath.Join(dir, "missing")}); err == nil {
+		t.Error("expected missing-file error")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("expected read error")
+	}
+}

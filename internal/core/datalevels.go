@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gio"
+)
+
+// DataLevels models the paper's three-level data hierarchy (§3, Table 1):
+// Level 1 is the raw particle output, Level 2 the reduced products still
+// needing compute-intensive analysis (halo particles above the split
+// threshold), Level 3 the final catalogs (halo centers and properties).
+type DataLevels struct {
+	// Level1Bytes: all particles at 36 bytes each.
+	Level1Bytes float64
+	// Level2Bytes: particles in halos above the split threshold.
+	Level2Bytes float64
+	// Level3Bytes: per-halo center records.
+	Level3Bytes float64
+	// Level2Fraction = Level2 / Level1.
+	Level2Fraction float64
+}
+
+// Level3BytesPerHalo sizes one halo-center record: halo tag, MBP tag,
+// three float64 coordinates, potential, count — 8·2 + 8·3 + 8 + 8 = 56,
+// rounded up to 64 with catalog framing.
+const Level3BytesPerHalo = 64
+
+// ComputeDataLevels derives the hierarchy's sizes from a particle count
+// and a halo population with the given split threshold.
+func ComputeDataLevels(totalParticles float64, pop *HaloPopulation, splitThreshold int) (DataLevels, error) {
+	if totalParticles <= 0 {
+		return DataLevels{}, fmt.Errorf("core: total particles %g must be positive", totalParticles)
+	}
+	l1 := totalParticles * float64(gio.RecordSize)
+	l2 := pop.ParticlesAbove(splitThreshold) * float64(gio.RecordSize)
+	l3 := pop.TotalHalos() * Level3BytesPerHalo
+	return DataLevels{
+		Level1Bytes:    l1,
+		Level2Bytes:    l2,
+		Level3Bytes:    l3,
+		Level2Fraction: l2 / l1,
+	}, nil
+}

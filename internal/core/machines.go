@@ -1,0 +1,65 @@
+package core
+
+import "repro/internal/platform"
+
+// MachineChoice reports what the combined workflow's post-processing costs
+// on one candidate analysis machine — the §4.2 trade-off: "OLCF's
+// designated analysis cluster, Rhea, has the capacity to ensure that
+// enough nodes are available for smaller jobs to have short queue waits.
+// However, Rhea does not currently have GPUs. The secondary job could be
+// co-scheduled on Titan with the main job, and use Titan's GPUs. However,
+// Titan's queue is designed to favor large jobs."
+type MachineChoice struct {
+	Machine platform.Machine
+	// PostAnalysisSeconds is the Level 2 center-finding makespan on the
+	// machine's best hardware (GPU when present).
+	PostAnalysisSeconds float64
+	// QueueWaitSeconds models the facility wait for the analysis job.
+	QueueWaitSeconds float64
+	// SubjectToSmallJobPolicy marks machines whose queue policy caps
+	// concurrent small jobs (Titan's 2-job limit, §3.2).
+	SubjectToSmallJobPolicy bool
+	// CoreHours charges the post job.
+	CoreHours float64
+}
+
+// CompareAnalysisMachines evaluates the scenario's post-processing on each
+// candidate machine. Queue waits follow the paper's qualitative ranking:
+// dedicated analysis clusters (no small-job cap) admit jobs quickly; the
+// big machine's queue favours large jobs, so the small analysis job waits
+// long there.
+func CompareAnalysisMachines(s *Scenario, machines []platform.Machine) ([]MachineChoice, error) {
+	ph, err := computePhases(s)
+	if err != nil {
+		return nil, err
+	}
+	totalPairs := s.Population.PairSum(s.SplitThreshold, 0)
+	largest := float64(s.Population.LargestSize())
+	var out []MachineChoice
+	for _, m := range machines {
+		pairCost := s.Costs.CenterPairSeconds * m.KernelFactor(m.HasGPU)
+		total := totalPairs * pairCost
+		tMax := largest * largest * pairCost
+		makespan := total / float64(s.PostNodes)
+		if tMax > makespan {
+			makespan = tMax
+		}
+		choice := MachineChoice{
+			Machine:                 m,
+			PostAnalysisSeconds:     makespan,
+			SubjectToSmallJobPolicy: m.SmallJobLimit > 0 && s.PostNodes < m.SmallJobNodes,
+		}
+		// Queue-wait model: capped small-job queues (Titan) make the
+		// analysis job wait behind the large-job-favouring policy;
+		// dedicated clusters admit it almost immediately.
+		if choice.SubjectToSmallJobPolicy {
+			choice.QueueWaitSeconds = 4 * 3600
+		} else {
+			choice.QueueWaitSeconds = 600
+		}
+		post := ph.l2Read + ph.l2Redist + makespan + ph.l3Write
+		choice.CoreHours = m.ChargeCoreHours(s.PostNodes, post)
+		out = append(out, choice)
+	}
+	return out, nil
+}

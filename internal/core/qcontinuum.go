@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gio"
+)
+
+// QContinuumReport reproduces the §4.1 case study: the final-timestep
+// analysis of the 8192³ Q Continuum run, split between Titan (halo
+// finding, centers ≤ 300k) and Moonlight (centers of the 84,719 halos
+// above 300k particles, shipped as 128 files of 128 blocks).
+type QContinuumReport struct {
+	// TotalHalos and Offloaded count the Figure 3 populations (paper:
+	// 167,686,789 and 84,719).
+	TotalHalos, Offloaded float64
+	// LargestHaloParticles (paper: ~25M).
+	LargestHaloParticles int
+	// IdentificationHours: FOF on 16,384 Titan nodes (paper: ~1 h).
+	IdentificationHours float64
+	// SmallCenterSeconds: in-situ centers for halos ≤ 300k (paper: "just
+	// over one minute").
+	SmallCenterSeconds float64
+	// MoonlightNodeHours for the off-loaded centers (paper: ~1770).
+	MoonlightNodeHours float64
+	// TitanEquivalentNodeHours = Moonlight × 0.55 (paper: 985).
+	TitanEquivalentNodeHours float64
+	// OffloadCoreHours charges the Titan-equivalent node hours (paper:
+	// ~30,000).
+	OffloadCoreHours float64
+	// CombinedCoreHours: identification + small centers + off-load
+	// (paper: 0.52M).
+	CombinedCoreHours float64
+	// MonolithicCoreHours: everything on Titan, gated by the slowest
+	// block (paper: 3.4M).
+	MonolithicCoreHours float64
+	// SavingFactor = Monolithic / Combined (paper: 6.5).
+	SavingFactor float64
+	// Per-file job statistics on Moonlight (paper: longest 37.8 h,
+	// shortest 6.0 h; longest single block 10.6 h).
+	LongestJobHours, ShortestJobHours, LongestBlockHours float64
+	// SlowestNodeHours: projected time of the slowest Titan node had all
+	// center finding run in-situ (paper: 5.9 h).
+	SlowestNodeHours float64
+	// IOOverheadCoreHours: writing + reading + redistributing Level 1 for
+	// one off-line analysis step (paper: ~0.16M).
+	IOOverheadCoreHours float64
+}
+
+// QContinuumStudy runs the case study on a synthesized population.
+func QContinuumStudy(seed int64) (*QContinuumReport, error) {
+	s, err := QContinuumScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	pop := s.Population
+	r := &QContinuumReport{
+		TotalHalos:           pop.TotalHalos(),
+		Offloaded:            pop.CountAbove(s.SplitThreshold),
+		LargestHaloParticles: pop.LargestSize(),
+	}
+	nLocal := int(s.TotalParticles() / float64(s.SimNodes))
+	r.IdentificationHours = s.Costs.FOFSeconds(s.Machine, nLocal, 1.0) / 3600
+
+	titanGPUPair := s.Costs.CenterPairSeconds * s.Machine.KernelFactor(true)
+	smallPerNode := pop.PairSum(0, s.SplitThreshold) / float64(s.SimNodes)
+	r.SmallCenterSeconds = smallPerNode * titanGPUPair
+
+	// Large halos land on the Titan node that found them; 128 consecutive
+	// node blocks aggregate into one file; each file becomes one
+	// single-node Moonlight job (§4.1).
+	rng := rand.New(rand.NewSource(seed + 1))
+	nodePairs := make([]float64, s.SimNodes)
+	for _, n := range pop.Large {
+		if n > s.SplitThreshold {
+			nodePairs[rng.Intn(s.SimNodes)] += float64(n) * float64(n)
+		}
+	}
+	moonPair := s.Costs.CenterPairSeconds * s.PostMachine.KernelFactor(true)
+	plan, err := gio.AggregationPlan(s.SimNodes, 128)
+	if err != nil {
+		return nil, err
+	}
+	var jobHours []float64
+	longestBlock := 0.0
+	totalMoonHours := 0.0
+	for _, group := range plan {
+		jobSec := 0.0
+		for _, node := range group {
+			blockSec := nodePairs[node] * moonPair
+			jobSec += blockSec
+			if blockSec > longestBlock {
+				longestBlock = blockSec
+			}
+		}
+		jobHours = append(jobHours, jobSec/3600)
+		totalMoonHours += jobSec / 3600
+	}
+	sort.Float64s(jobHours)
+	r.LongestJobHours = jobHours[len(jobHours)-1]
+	r.ShortestJobHours = jobHours[0]
+	r.LongestBlockHours = longestBlock / 3600
+	r.MoonlightNodeHours = totalMoonHours
+	r.TitanEquivalentNodeHours = totalMoonHours * 0.55
+	r.OffloadCoreHours = r.TitanEquivalentNodeHours * s.Machine.ChargeFactor
+
+	// Combined: identification + small centers on 16,384 Titan nodes, plus
+	// the off-load.
+	titanSideHours := (r.IdentificationHours*3600 + r.SmallCenterSeconds) / 3600
+	r.CombinedCoreHours = float64(s.SimNodes)*titanSideHours*s.Machine.ChargeFactor + r.OffloadCoreHours
+
+	// Monolithic: the whole machine waits for the slowest node to finish
+	// every center, plus identification.
+	slowestPairs := 0.0
+	for _, v := range nodePairs {
+		if v > slowestPairs {
+			slowestPairs = v
+		}
+	}
+	// The slowest node also carries its share of small-halo work.
+	slowestSec := (slowestPairs + smallPerNode) * titanGPUPair
+	r.SlowestNodeHours = slowestSec / 3600
+	r.MonolithicCoreHours = float64(s.SimNodes) * (r.SlowestNodeHours + r.IdentificationHours) * s.Machine.ChargeFactor
+	if r.CombinedCoreHours > 0 {
+		r.SavingFactor = r.MonolithicCoreHours / r.CombinedCoreHours
+	}
+
+	// I/O overhead of one off-line analysis step: write + read +
+	// redistribute Level 1 on the full partition.
+	lv, err := s.Levels()
+	if err != nil {
+		return nil, err
+	}
+	// The paper's ~0.16M figure corresponds to the ~10-minute read plus the
+	// ~10-minute redistribution on the full partition (§4.1); the write is
+	// folded into the simulation job.
+	ioSec := s.Machine.IOSeconds(lv.Level1Bytes, s.SimNodes) +
+		s.Machine.RedistributeSeconds(lv.Level1Bytes, s.SimNodes)
+	r.IOOverheadCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, ioSec)
+	return r, nil
+}
+
+// String renders the report in the paper's §4.1 narrative order.
+func (r *QContinuumReport) String() string {
+	return fmt.Sprintf(`Q Continuum final-step analysis (paper values in parentheses):
+  halos total / off-loaded:   %.0f / %.0f   (167,686,789 / 84,719)
+  largest halo:               %d particles  (~25M)
+  identification:             %.2f h on 16,384 nodes  (~1 h)
+  in-situ centers <=300k:     %.0f s  ("just over one minute")
+  Moonlight node hours:       %.0f  (1770)
+  Titan-equivalent:           %.0f node hours -> %.0f core hours  (985 -> ~30,000)
+  combined total:             %.3g core hours  (0.52M)
+  monolithic in-situ:         %.3g core hours  (3.4M)
+  saving factor:              %.1fx  (6.5x)
+  longest/shortest job:       %.1f / %.1f h  (37.8 / 6.0)
+  longest block:              %.1f h  (10.6)
+  slowest in-situ node:       %.1f h  (5.9)
+  L1 I/O overhead per step:   %.3g core hours  (~0.16M)`,
+		r.TotalHalos, r.Offloaded, r.LargestHaloParticles,
+		r.IdentificationHours, r.SmallCenterSeconds,
+		r.MoonlightNodeHours, r.TitanEquivalentNodeHours, r.OffloadCoreHours,
+		r.CombinedCoreHours, r.MonolithicCoreHours, r.SavingFactor,
+		r.LongestJobHours, r.ShortestJobHours, r.LongestBlockHours,
+		r.SlowestNodeHours, r.IOOverheadCoreHours)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cosmo"
+	"repro/internal/platform"
+)
+
+// Scenario fixes everything a workflow comparison needs: the machine, the
+// simulation size, the synthesized halo population, the split threshold,
+// and the calibrated kernel costs.
+type Scenario struct {
+	// Name for reports.
+	Name string
+	// Machine hosting the simulation (and, unless redirected, the post-
+	// processing).
+	Machine platform.Machine
+	// PostMachine hosts the off-line analysis of Level 2 data (equal to
+	// Machine for the paper's Table 4 runs; Moonlight for Q Continuum).
+	PostMachine platform.Machine
+	// Costs are the calibrated kernel coefficients for this scenario.
+	Costs platform.AnalysisCosts
+	// SimNodes is the simulation's node count; PostNodes the off-line
+	// analysis job's.
+	SimNodes, PostNodes int
+	// NP is particles per dimension; BoxMpch the comoving box in Mpc/h.
+	NP      int
+	BoxMpch float64
+	// Population is the halo catalog (synthesized or measured).
+	Population *HaloPopulation
+	// SplitThreshold is the in-situ/off-line cut in particles (300,000 in
+	// the paper); 0 disables the split.
+	SplitThreshold int
+	// Timesteps is how many analysis steps the workflow covers (1 for the
+	// Table 4 single-step comparison; 100 for a full campaign).
+	Timesteps int
+	// StepInterval is the simulated wall time between analysis steps when
+	// Timesteps > 1 (the simulation segments between outputs).
+	StepInterval float64
+	// OfflineQueueWait models the facility wait for a full-size off-line
+	// allocation ("This can add days to a week of wait time", §4.2).
+	OfflineQueueWait float64
+	// PostQueueWait models the (much shorter) wait for the small Level 2
+	// analysis job.
+	PostQueueWait float64
+	// ListenerPoll is the co-scheduling listener's poll interval.
+	ListenerPoll float64
+}
+
+// Validate reports scenario construction errors.
+func (s *Scenario) Validate() error {
+	switch {
+	case s.Population == nil:
+		return fmt.Errorf("core: scenario %q has no halo population", s.Name)
+	case s.SimNodes <= 0 || s.PostNodes <= 0:
+		return fmt.Errorf("core: scenario %q node counts %d/%d", s.Name, s.SimNodes, s.PostNodes)
+	case s.NP <= 0 || s.BoxMpch <= 0:
+		return fmt.Errorf("core: scenario %q size %d/%g", s.Name, s.NP, s.BoxMpch)
+	case s.Timesteps <= 0:
+		return fmt.Errorf("core: scenario %q timesteps %d", s.Name, s.Timesteps)
+	}
+	if err := s.Machine.Validate(); err != nil {
+		return err
+	}
+	return s.PostMachine.Validate()
+}
+
+// TotalParticles returns NP³.
+func (s *Scenario) TotalParticles() float64 {
+	n := float64(s.NP)
+	return n * n * n
+}
+
+// Levels computes the data hierarchy for the scenario's split threshold.
+func (s *Scenario) Levels() (DataLevels, error) {
+	return ComputeDataLevels(s.TotalParticles(), s.Population, s.SplitThreshold)
+}
+
+// DownscaledScenario builds the paper's §4.2 test problem: 1024³ particles
+// in a (162.5 Mpc)³ box — 512x smaller than Q Continuum at the same mass
+// resolution — on 32 Titan nodes, post-processing Level 2 on a 4-node job.
+// The kernel coefficients are recalibrated to the Table 4 anchors: the
+// combined in-situ phase (halo finding + centers ≤ 300k) measured 361 s,
+// of which FOF is ~300 s; MaxSize caps the sampled population at the
+// paper's reported largest halo (2,548,321 particles).
+func DownscaledScenario(seed int64) (*Scenario, error) {
+	p := cosmo.Default()
+	const boxMpch = 115.4 // 162.5 Mpc at h = 0.71
+	pop, err := SynthesizePopulation(p, SynthesisOptions{
+		BoxMpch:     boxMpch,
+		NP:          1024,
+		Z:           0,
+		MinSize:     40,
+		SampleAbove: 300000,
+		MaxSize:     2_600_000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	costs := platform.DefaultCosts()
+	// Table 4 calibration: ~300 s of FOF per node for 1024³/32 nodes.
+	costs.FOFParticleSeconds = 300.0 / (1024.0 * 1024 * 1024 / 32)
+	return &Scenario{
+		Name:             "downscaled-1024",
+		Machine:          platform.Titan(),
+		PostMachine:      platform.Titan(),
+		Costs:            costs,
+		SimNodes:         32,
+		PostNodes:        4,
+		NP:               1024,
+		BoxMpch:          boxMpch,
+		Population:       pop,
+		SplitThreshold:   300000,
+		Timesteps:        1,
+		StepInterval:     775,
+		OfflineQueueWait: 3 * 86400, // "days to a week"
+		PostQueueWait:    1800,
+		ListenerPoll:     30,
+	}, nil
+}
+
+// QContinuumScenario builds the §4.1 study: 8192³ particles in a
+// (1300 Mpc)³ box on 16,384 Titan nodes, Level 2 analysis off-loaded to
+// Moonlight.
+func QContinuumScenario(seed int64) (*Scenario, error) {
+	p := cosmo.Default()
+	const boxMpch = 923.0 // 1300 Mpc at h = 0.71
+	pop, err := SynthesizePopulation(p, SynthesisOptions{
+		BoxMpch:     boxMpch,
+		NP:          8192,
+		Z:           0,
+		MinSize:     40,
+		SampleAbove: 300000,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name:             "q-continuum-8192",
+		Machine:          platform.Titan(),
+		PostMachine:      platform.Moonlight(),
+		Costs:            platform.DefaultCosts(),
+		SimNodes:         16384,
+		PostNodes:        128, // 128 single-node jobs' worth of Moonlight
+		NP:               8192,
+		BoxMpch:          boxMpch,
+		Population:       pop,
+		SplitThreshold:   300000,
+		Timesteps:        1,
+		StepInterval:     3600,
+		OfflineQueueWait: 5 * 86400,
+		PostQueueWait:    1800,
+		ListenerPoll:     60,
+	}, nil
+}

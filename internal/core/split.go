@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+)
+
+// SplitDecision is the outcome of the paper's automated in-situ/off-line
+// division rule (§4.1): "First, one would estimate the time the code will
+// spend in I/O, t_io, if the analysis were off-line. ... The mass of the
+// largest halo, m_max_io, that could be analyzed in time less than t_io,
+// would then be estimated. ... If m_max_sim < m_max_io, the centers for
+// all halos can be computed in-situ. If m_max_sim > m_max_io, then all
+// particles in halos with mass greater than m_max_io should be saved out
+// for off-line center-finding."
+type SplitDecision struct {
+	// TIOSeconds is the estimated off-line I/O + redistribution cost the
+	// split amortizes against.
+	TIOSeconds float64
+	// MaxInSituSize is m_max_io expressed in particles: the largest halo
+	// whose center finding costs less than TIOSeconds.
+	MaxInSituSize int
+	// LargestSimSize is m_max_sim in particles.
+	LargestSimSize int
+	// OffloadNeeded reports m_max_sim > m_max_io.
+	OffloadNeeded bool
+	// Threshold is the recommended split (equals MaxInSituSize when
+	// off-loading is needed; 0 otherwise).
+	Threshold int
+	// CoScheduleRanks sizes the off-line job: "The number of ranks for the
+	// co-scheduling task should be set equal to T/t_max" where T is the
+	// total off-loaded analysis time and t_max the largest halo's time.
+	CoScheduleRanks int
+	// TotalOffloadSeconds (T) and LargestHaloSeconds (t_max) back the rank
+	// computation.
+	TotalOffloadSeconds float64
+	LargestHaloSeconds  float64
+}
+
+// AutoSplit applies the rule to a scenario.
+func AutoSplit(s *Scenario) (*SplitDecision, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	lv, err := ComputeDataLevels(s.TotalParticles(), s.Population, 0)
+	if err != nil {
+		return nil, err
+	}
+	d := &SplitDecision{}
+	// Off-line analysis would pay a Level 1 read plus redistribution.
+	d.TIOSeconds = s.Machine.IOSeconds(lv.Level1Bytes, s.SimNodes) +
+		s.Machine.RedistributeSeconds(lv.Level1Bytes, s.SimNodes)
+	pairCost := s.Costs.CenterPairSeconds * s.Machine.KernelFactor(true)
+	d.MaxInSituSize = int(math.Sqrt(d.TIOSeconds / pairCost))
+	d.LargestSimSize = s.Population.LargestSize()
+	d.OffloadNeeded = d.LargestSimSize > d.MaxInSituSize
+	if !d.OffloadNeeded {
+		return d, nil
+	}
+	d.Threshold = d.MaxInSituSize
+	postPairCost := s.Costs.CenterPairSeconds * s.PostMachine.KernelFactor(true)
+	d.TotalOffloadSeconds = s.Population.PairSum(d.Threshold, 0) * postPairCost
+	largest := float64(d.LargestSimSize)
+	d.LargestHaloSeconds = largest * largest * postPairCost
+	if d.LargestHaloSeconds > 0 {
+		d.CoScheduleRanks = int(math.Ceil(d.TotalOffloadSeconds / d.LargestHaloSeconds))
+	}
+	if d.CoScheduleRanks < 1 {
+		d.CoScheduleRanks = 1
+	}
+	return d, nil
+}

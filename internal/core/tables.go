@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cosmo"
+	"repro/internal/stats"
+)
+
+// Table2Row is one row of the paper's Table 2: per-slice min/max node
+// times for halo identification (Find) and center finding (Center), in
+// seconds on Titan.
+type Table2Row struct {
+	Slice    int
+	Redshift float64
+	FindMax  float64
+	FindMin  float64
+	// CenterMax at the final slice is the projected large-halo time of the
+	// slowest node (the paper adjusts its Moonlight measurement onto Titan
+	// by 0.55; this model computes Titan directly). CenterMin at the final
+	// slice is the fastest node's in-situ (≤ 300k) time, since the split
+	// was active there.
+	CenterMax float64
+	CenterMin float64
+}
+
+// table2Slices are the paper's reported output slices and redshifts.
+var table2Slices = []struct {
+	slice int
+	z     float64
+}{
+	{60, 1.680},
+	{64, 1.433},
+	{73, 0.959},
+	{100, 0.0},
+}
+
+// findSpread is the modelled FOF load imbalance: Table 2 shows max/min
+// ratios of 1.15-1.25 across all slices ("the identification is well
+// balanced for each time step").
+const findSpread = 0.10
+
+// Table2 regenerates the per-slice timing table for the Q Continuum
+// configuration. Populations are synthesized per redshift; the split
+// (300k) is applied only at the final slice, as in the production run.
+func Table2(seed int64) ([]Table2Row, error) {
+	s, err := QContinuumScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	p := cosmo.Default()
+	nLocal := int(s.TotalParticles() / float64(s.SimNodes))
+	var rows []Table2Row
+	for _, sl := range table2Slices {
+		pop, err := SynthesizePopulation(p, SynthesisOptions{
+			BoxMpch:     s.BoxMpch,
+			NP:          s.NP,
+			Z:           sl.z,
+			MinSize:     40,
+			SampleAbove: s.SplitThreshold,
+			Seed:        seed + int64(sl.slice),
+		})
+		if err != nil {
+			return nil, err
+		}
+		a := cosmo.ScaleFactor(sl.z)
+		dRel := p.GrowthFactor(a)
+		base := s.Costs.FOFSeconds(s.Machine, nLocal, dRel)
+		row := Table2Row{
+			Slice:    sl.slice,
+			Redshift: sl.z,
+			FindMin:  base * (1 - findSpread),
+			FindMax:  base * (1 + findSpread),
+		}
+		pairGPU := s.Costs.CenterPairSeconds * s.Machine.KernelFactor(true)
+		if sl.slice == 100 {
+			// Split active: max is the slowest node's projected large-halo
+			// time; min is the fastest node's small-halo in-situ time.
+			nodesLarge := pop.NodeAssignment(s.SimNodes, s.SplitThreshold, 0, seed+9)
+			row.CenterMax = maxOf(nodesLarge) * pairGPU
+			nodesSmall := pop.NodeAssignment(s.SimNodes, 0, s.SplitThreshold, seed+9)
+			row.CenterMin = minPositive(nodesSmall) * pairGPU
+		} else {
+			nodesAll := pop.NodeAssignment(s.SimNodes, 0, 0, seed+int64(sl.slice))
+			row.CenterMax = maxOf(nodesAll) * pairGPU
+			row.CenterMin = minPositive(nodesAll) * pairGPU
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func minPositive(vs []float64) float64 {
+	m := -1.0
+	for _, v := range vs {
+		if v > 0 && (m < 0 || v < m) {
+			m = v
+		}
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// MassFunctionBin is one Figure 3 histogram bar: halo counts per
+// logarithmic mass bin, flagged by whether the bin was off-loaded (blue in
+// the paper) or fully analyzed in-situ (red).
+type MassFunctionBin struct {
+	// Particles is the bin centre in particles per halo.
+	Particles float64
+	// MassMsun is the bin centre in Msun/h.
+	MassMsun float64
+	// Count of halos in the bin.
+	Count float64
+	// Offloaded marks bins above the 300k split.
+	Offloaded bool
+}
+
+// Figure3 regenerates the z=0 halo mass function of the Q Continuum run
+// with the 300k-particle split marked, plus the headline totals.
+func Figure3(seed int64) (bins []MassFunctionBin, total, offloaded float64, err error) {
+	s, err := QContinuumScenario(seed)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	pop := s.Population
+	mp := cosmo.Default().ParticleMass(s.BoxMpch, s.NP)
+	for _, b := range pop.Bins {
+		bins = append(bins, MassFunctionBin{
+			Particles: b.Size,
+			MassMsun:  b.Size * mp,
+			Count:     b.Count,
+			Offloaded: b.Size > float64(s.SplitThreshold),
+		})
+	}
+	// The individually sampled tail: histogram in half-decade bins.
+	if len(pop.Large) > 0 {
+		h, herr := stats.NewLogHistogram(float64(s.SplitThreshold), float64(pop.LargestSize())*1.01, 8)
+		if herr != nil {
+			return nil, 0, 0, herr
+		}
+		for _, n := range pop.Large {
+			h.Add(float64(n))
+		}
+		centers := h.BinCenters()
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			bins = append(bins, MassFunctionBin{
+				Particles: centers[i],
+				MassMsun:  centers[i] * mp,
+				Count:     float64(c),
+				Offloaded: centers[i] > float64(s.SplitThreshold),
+			})
+		}
+	}
+	return bins, pop.TotalHalos(), pop.CountAbove(s.SplitThreshold), nil
+}
+
+// Figure4 regenerates the histogram of projected per-node center-finding
+// times for the off-loaded (> 300k) halos across the 16,384 Titan nodes:
+// bins of width 1000 s, node counts on a log scale when rendered.
+func Figure4(seed int64) (*stats.Histogram, error) {
+	s, err := QContinuumScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	pairGPU := s.Costs.CenterPairSeconds * s.Machine.KernelFactor(true)
+	nodes := s.Population.NodeAssignment(s.SimNodes, s.SplitThreshold, 0, seed+9)
+	maxT := 0.0
+	for _, v := range nodes {
+		if t := v * pairGPU; t > maxT {
+			maxT = t
+		}
+	}
+	nBins := int(maxT/1000) + 1
+	h, err := stats.NewHistogram(0, float64(nBins)*1000, nBins)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range nodes {
+		h.Add(v * pairGPU)
+	}
+	return h, nil
+}
+
+// Table1Row is one column of the paper's Table 1: the data hierarchy for
+// one simulation size.
+type Table1Row struct {
+	Label       string
+	Level1Bytes float64
+	Level2Bytes float64
+	Level3Bytes float64
+}
+
+// Table1 regenerates the Level 1/2/3 sizes for the paper's two
+// configurations (1024³ and 8192³, last step only, split at 300k).
+func Table1(seed int64) ([]Table1Row, error) {
+	var rows []Table1Row
+	small, err := DownscaledScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	big, err := QContinuumScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range []*Scenario{small, big} {
+		lv, err := s.Levels()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Label:       fmt.Sprintf("%d^3", s.NP),
+			Level1Bytes: lv.Level1Bytes,
+			Level2Bytes: lv.Level2Bytes,
+			Level3Bytes: lv.Level3Bytes,
+		})
+	}
+	return rows, nil
+}
+
+// SubhaloImbalance reproduces the §4.2 observation: subhalo finding for
+// halos above 5000 particles on the downscaled run's 32 Titan CPU nodes
+// showed "8172 secs for the slowest and 1457 secs for the fastest node, an
+// imbalance of more than a factor of five". Returns the modelled per-node
+// subhalo times.
+func SubhaloImbalance(seed int64) (slowest, fastest float64, err error) {
+	s, err := DownscaledScenario(seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Per-node n·log n subhalo cost over halos > 5000 particles, CPU only.
+	// NodeAssignment aggregates n², so assign sizes directly here.
+	perNode := s.Population.NodeSubhaloSeconds(s.SimNodes, 5000, s.Costs, s.Machine, seed+3)
+	sum, err2 := stats.Summarize(perNode)
+	if err2 != nil {
+		return 0, 0, err2
+	}
+	return sum.Max, sum.Min, nil
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/fs"
+	"repro/internal/sched"
+)
+
+// Kind selects one of the paper's workflow strategies (Figure 1, Table 3).
+type Kind string
+
+// The five strategies of Table 3.
+const (
+	InSitu              Kind = "in-situ"
+	Offline             Kind = "off-line"
+	CombinedSimple      Kind = "in-situ/off-line simple"
+	CombinedCoScheduled Kind = "in-situ/off-line co-scheduled"
+	CombinedInTransit   Kind = "in-situ/off-line in-transit"
+)
+
+// Kinds lists every workflow in Table 3 order.
+func Kinds() []Kind {
+	return []Kind{InSitu, Offline, CombinedSimple, CombinedCoScheduled, CombinedInTransit}
+}
+
+// Report carries the phase timings and cost accounting of one workflow
+// run — the rows of Tables 3 and 4.
+type Report struct {
+	Workflow Kind
+	Scenario string
+
+	// Simulation-job phases, seconds (Table 4 "Simulation" columns).
+	SimSeconds      float64 // the physics time step(s) themselves
+	AnalysisSeconds float64 // in-situ analysis inside the simulation job
+	SimWriteSeconds float64 // Level 1/2/3 writes from the simulation job
+
+	// Post-processing job phases (Table 4 "Post-processing" columns).
+	PostQueueWait       float64
+	ReadSeconds         float64
+	RedistributeSeconds float64
+	PostAnalysisSeconds float64
+	PostWriteSeconds    float64
+
+	// Node counts.
+	SimNodes, PostNodes int
+
+	// Core-hour accounting (Table 3): the analysis-attributable charge is
+	// the sim job's analysis+write share plus the whole post job.
+	AnalysisCoreHours float64
+	SimCoreHours      float64
+
+	// Wall clock from simulation start until all analysis products exist,
+	// from the discrete-event run (includes queue waits and overlap).
+	WallClock float64
+
+	// Table 3 qualitative columns.
+	IOLevel, RedistLevel, Queueing string
+
+	// Co-scheduling detail: analysis job start times (virtual seconds).
+	AnalysisJobStarts []float64
+}
+
+// SimJobTotal is the simulation job's wall time per analysis step.
+func (r *Report) SimJobTotal() float64 {
+	return r.SimSeconds + r.AnalysisSeconds + r.SimWriteSeconds
+}
+
+// PostJobTotal is the post-processing job's execution time (excluding
+// queueing).
+func (r *Report) PostJobTotal() float64 {
+	return r.ReadSeconds + r.RedistributeSeconds + r.PostAnalysisSeconds + r.PostWriteSeconds
+}
+
+// phases computes the deterministic per-step phase durations shared by
+// all workflows of a scenario.
+type phases struct {
+	fof            float64 // per-node FOF (max node)
+	centerAllMax   float64 // max-node in-situ centers, all halos
+	centerSmallMax float64 // max-node in-situ centers, halos <= threshold
+	postCenter     float64 // makespan of off-line centers for large halos
+	levels         DataLevels
+	l1Write        float64
+	l1Read         float64
+	l1Redist       float64
+	l2Write        float64
+	l2Read         float64
+	l2Redist       float64
+	l3Write        float64
+}
+
+func computePhases(s *Scenario) (*phases, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	lv, err := s.Levels()
+	if err != nil {
+		return nil, err
+	}
+	ph := &phases{levels: lv}
+	nLocal := int(s.TotalParticles() / float64(s.SimNodes))
+	ph.fof = s.Costs.FOFSeconds(s.Machine, nLocal, 1.0)
+
+	pairCostGPU := s.Costs.CenterPairSeconds * s.Machine.KernelFactor(true)
+	nodesAll := s.Population.NodeAssignment(s.SimNodes, 0, 0, 7)
+	nodesSmall := s.Population.NodeAssignment(s.SimNodes, 0, s.SplitThreshold, 7)
+	ph.centerAllMax = maxOf(nodesAll) * pairCostGPU
+	ph.centerSmallMax = maxOf(nodesSmall) * pairCostGPU
+
+	// Off-line centers for large halos on the post machine: halos are
+	// distributed "so that each rank has roughly the same workload"
+	// (§4.1), so the makespan is the larger of the mean load and the
+	// single largest halo.
+	postPairCost := s.Costs.CenterPairSeconds * s.PostMachine.KernelFactor(true)
+	totalLarge := s.Population.PairSum(s.SplitThreshold, 0) * postPairCost
+	largest := float64(s.Population.LargestSize())
+	tMax := largest * largest * postPairCost
+	ph.postCenter = totalLarge / float64(s.PostNodes)
+	if tMax > ph.postCenter {
+		ph.postCenter = tMax
+	}
+
+	ph.l1Write = s.Machine.IOSeconds(lv.Level1Bytes, s.SimNodes)
+	ph.l1Read = s.Machine.IOSeconds(lv.Level1Bytes, s.SimNodes)
+	ph.l1Redist = s.Machine.RedistributeSeconds(lv.Level1Bytes, s.SimNodes)
+	ph.l2Write = s.Machine.IOSeconds(lv.Level2Bytes, s.SimNodes)
+	ph.l2Read = s.PostMachine.IOSeconds(lv.Level2Bytes, s.PostNodes)
+	ph.l2Redist = s.PostMachine.RedistributeSeconds(lv.Level2Bytes, s.PostNodes)
+	ph.l3Write = s.Machine.IOSeconds(lv.Level3Bytes, s.SimNodes)
+	return ph, nil
+}
+
+func maxOf(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Run executes the chosen workflow for the scenario on a discrete-event
+// clock and returns its report. Timesteps > 1 exercises the co-scheduling
+// pile-up behaviour; the Table 3/4 comparisons use Timesteps = 1.
+func Run(s *Scenario, kind Kind) (*Report, error) {
+	ph, err := computePhases(s)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case InSitu:
+		return runInSitu(s, ph)
+	case Offline:
+		return runOffline(s, ph)
+	case CombinedSimple, CombinedCoScheduled, CombinedInTransit:
+		return runCombined(s, ph, kind)
+	default:
+		return nil, fmt.Errorf("core: unknown workflow kind %q", kind)
+	}
+}
+
+// runInSitu: everything inside the simulation job; no I/O between
+// simulation and analysis, no separate queueing.
+func runInSitu(s *Scenario, ph *phases) (*Report, error) {
+	r := &Report{
+		Workflow: InSitu, Scenario: s.Name,
+		SimNodes: s.SimNodes, PostNodes: 0,
+		IOLevel: "none", RedistLevel: "none", Queueing: "none",
+	}
+	var sim des.Sim
+	cluster, err := sched.NewCluster(&sim, s.Machine)
+	if err != nil {
+		return nil, err
+	}
+	analysis := ph.fof + ph.centerAllMax
+	write := ph.l3Write
+	stepDur := s.StepInterval + analysis + write
+	job := &sched.Job{Name: "sim+insitu", Nodes: s.SimNodes, Duration: float64(s.Timesteps) * stepDur}
+	if err := cluster.Submit(job); err != nil {
+		return nil, err
+	}
+	sim.Run()
+	r.SimSeconds = float64(s.Timesteps) * s.StepInterval
+	r.AnalysisSeconds = float64(s.Timesteps) * analysis
+	r.SimWriteSeconds = float64(s.Timesteps) * write
+	r.WallClock = sim.Now()
+	r.AnalysisCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.AnalysisSeconds+r.SimWriteSeconds)
+	r.SimCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.SimSeconds)
+	return r, nil
+}
+
+// runOffline: the simulation writes Level 1 every step; a full-size
+// analysis job queues after the simulation, reads everything back,
+// redistributes, and analyzes.
+func runOffline(s *Scenario, ph *phases) (*Report, error) {
+	r := &Report{
+		Workflow: Offline, Scenario: s.Name,
+		SimNodes: s.SimNodes, PostNodes: s.SimNodes,
+		IOLevel: "Level 1", RedistLevel: "Level 1", Queueing: "full",
+	}
+	var sim des.Sim
+	cluster, err := sched.NewCluster(&sim, s.Machine)
+	if err != nil {
+		return nil, err
+	}
+	cluster.ExtraQueueWait = func(j *sched.Job) float64 {
+		if j.Name == "offline-analysis" {
+			return s.OfflineQueueWait
+		}
+		return 0
+	}
+	analysis := ph.fof + ph.centerAllMax
+	perStepPost := ph.l1Read + ph.l1Redist + analysis + ph.l3Write
+	simJob := &sched.Job{
+		Name: "sim", Nodes: s.SimNodes,
+		Duration: float64(s.Timesteps) * (s.StepInterval + ph.l1Write),
+		OnComplete: func(*sched.Job) {
+			post := &sched.Job{Name: "offline-analysis", Nodes: s.SimNodes,
+				Duration: float64(s.Timesteps) * perStepPost}
+			post.OnStart = func(j *sched.Job) { r.PostQueueWait = j.QueueWait() }
+			_ = cluster.Submit(post)
+		},
+	}
+	if err := cluster.Submit(simJob); err != nil {
+		return nil, err
+	}
+	sim.Run()
+	steps := float64(s.Timesteps)
+	r.SimSeconds = steps * s.StepInterval
+	r.SimWriteSeconds = steps * ph.l1Write
+	r.ReadSeconds = steps * ph.l1Read
+	r.RedistributeSeconds = steps * ph.l1Redist
+	r.PostAnalysisSeconds = steps * analysis
+	r.PostWriteSeconds = steps * ph.l3Write
+	r.WallClock = sim.Now()
+	r.AnalysisCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.SimWriteSeconds) +
+		s.Machine.ChargeCoreHours(s.SimNodes, r.PostJobTotal())
+	r.SimCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.SimSeconds)
+	return r, nil
+}
+
+// runCombined: halo finding plus small-halo centers in-situ; large-halo
+// particles to Level 2; a small post job finishes the centers. The three
+// variants differ in transport and scheduling of the post job:
+//
+//   - simple: Level 2 to disk; one post job queued after the simulation.
+//   - co-scheduled: Level 2 to disk; the listener submits a post job per
+//     timestep while the simulation runs.
+//   - in-transit: Level 2 through shared external memory (no file I/O);
+//     analysis resources are held concurrently, so no queue wait.
+func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
+	r := &Report{
+		Workflow: kind, Scenario: s.Name,
+		SimNodes: s.SimNodes, PostNodes: s.PostNodes,
+	}
+	inTransit := kind == CombinedInTransit
+	coSched := kind == CombinedCoScheduled
+
+	analysisInSitu := ph.fof + ph.centerSmallMax
+	l2Write, l2Read := ph.l2Write, ph.l2Read
+	postQueueWait := s.PostQueueWait
+	switch kind {
+	case CombinedSimple:
+		r.IOLevel, r.RedistLevel, r.Queueing = "Level 2", "Level 2", "partial"
+	case CombinedCoScheduled:
+		r.IOLevel, r.RedistLevel, r.Queueing = "Level 2", "Level 2", "partial simult"
+	case CombinedInTransit:
+		r.IOLevel, r.RedistLevel, r.Queueing = "none", "Level 2", "partial simult"
+		l2Write, l2Read = 0, 0 // staged through shared memory
+		postQueueWait = 0      // analysis partition held alongside the run
+	}
+	perStepPost := l2Read + ph.l2Redist + ph.postCenter + ph.l3Write
+
+	var sim des.Sim
+	storage := fs.New(&sim, "lustre")
+	cluster, err := sched.NewCluster(&sim, s.Machine)
+	if err != nil {
+		return nil, err
+	}
+	// The post jobs run on the post machine's cluster (same machine in the
+	// Table 4 set-up, Moonlight for Q Continuum).
+	postCluster, err := sched.NewCluster(&sim, s.PostMachine)
+	if err != nil {
+		return nil, err
+	}
+	postCluster.ExtraQueueWait = func(*sched.Job) float64 { return postQueueWait }
+
+	newPostJob := func(step int) *sched.Job {
+		j := &sched.Job{Name: fmt.Sprintf("post-%03d", step), Nodes: s.PostNodes, Duration: perStepPost}
+		j.OnStart = func(j *sched.Job) { r.AnalysisJobStarts = append(r.AnalysisJobStarts, j.StartTime) }
+		return j
+	}
+
+	var listener *sched.Listener
+	if coSched {
+		jobSeq := 0
+		listener = &sched.Listener{
+			Sim: &sim, FS: storage, Cluster: postCluster,
+			Prefix:       "l2/step",
+			PollInterval: s.ListenerPoll,
+			MakeJob: func(path string, f *fs.File) *sched.Job {
+				jobSeq++
+				return newPostJob(jobSeq)
+			},
+		}
+		if err := listener.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	stepDur := s.StepInterval + analysisInSitu + l2Write + ph.l3Write
+	simJob := &sched.Job{
+		Name: "sim+insitu", Nodes: s.SimNodes,
+		Duration: float64(s.Timesteps) * stepDur,
+		OnStart: func(j *sched.Job) {
+			// Emit one Level 2 file per timestep as the run progresses.
+			for step := 1; step <= s.Timesteps; step++ {
+				at := j.StartTime + float64(step)*stepDur
+				step := step
+				sim.At(at, func() {
+					storage.Write(fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, 0, nil, nil)
+				})
+			}
+		},
+		OnComplete: func(*sched.Job) {
+			if listener != nil {
+				// "an additional instance of the listener would run after
+				// the job completes to catch the last output data" (§3.2):
+				// sweep one tick later so the final step's Level 2 file —
+				// whose visibility event shares this timestamp — is seen.
+				sim.After(1, func() {
+					listener.Stop()
+					listener.FinalSweep()
+				})
+				return
+			}
+			// Simple & in-transit: one post job covering all timesteps,
+			// queued after the simulation ("One 4-node job covering all
+			// timesteps ... queued after sim", Table 4).
+			post := newPostJob(0)
+			post.Duration = float64(s.Timesteps) * perStepPost
+			_ = postCluster.Submit(post)
+		},
+	}
+	if err := cluster.Submit(simJob); err != nil {
+		return nil, err
+	}
+	sim.Run()
+
+	steps := float64(s.Timesteps)
+	r.SimSeconds = steps * s.StepInterval
+	r.AnalysisSeconds = steps * analysisInSitu
+	r.SimWriteSeconds = steps * (l2Write + ph.l3Write)
+	r.PostQueueWait = postQueueWait
+	r.ReadSeconds = steps * l2Read
+	r.RedistributeSeconds = steps * ph.l2Redist
+	r.PostAnalysisSeconds = steps * ph.postCenter
+	r.PostWriteSeconds = steps * ph.l3Write
+	r.WallClock = sim.Now()
+	r.AnalysisCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.AnalysisSeconds+r.SimWriteSeconds) +
+		s.PostMachine.ChargeCoreHours(s.PostNodes, r.PostJobTotal())
+	r.SimCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.SimSeconds)
+	if inTransit {
+		// Table 3 marks in-transit core hours "(n/a)" — the set-up did not
+		// exist on accessible systems; the charge model above still
+		// reports what it would cost on equivalent hardware.
+		r.Queueing = "partial simult"
+	}
+	return r, nil
+}

@@ -1,0 +1,240 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{OmegaM: 0, OmegaL: 0.7, H0: 70, Sigma8: 0.8},
+		{OmegaM: 0.3, OmegaL: -1, H0: 70, Sigma8: 0.8},
+		{OmegaM: 0.3, OmegaL: 0.7, H0: 0, Sigma8: 0.8},
+		{OmegaM: 0.3, OmegaL: 0.7, H0: 70, Sigma8: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestScaleFactorRedshiftInverse(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 1, 10, 200} {
+		a := ScaleFactor(z)
+		if got := Redshift(a); math.Abs(got-z) > 1e-12*(1+z) {
+			t.Errorf("Redshift(ScaleFactor(%v)) = %v", z, got)
+		}
+	}
+	if ScaleFactor(0) != 1 {
+		t.Error("a(z=0) should be 1")
+	}
+}
+
+func TestHubbleRateToday(t *testing.T) {
+	p := Default()
+	// Flat universe: E(1) = 1.
+	if e := p.E(1); math.Abs(e-1) > 1e-6 {
+		t.Errorf("E(1) = %v, want 1", e)
+	}
+	// Matter domination at early times: E ~ sqrt(Om/a³).
+	a := 1e-3
+	want := math.Sqrt(p.OmegaM / (a * a * a))
+	if e := p.E(a); math.Abs(e-want)/want > 0.01 {
+		t.Errorf("E(%v) = %v, want ~%v", a, e, want)
+	}
+}
+
+func TestOmegaMAtLimits(t *testing.T) {
+	p := Default()
+	if om := p.OmegaMAt(1); math.Abs(om-p.OmegaM) > 1e-9 {
+		t.Errorf("OmegaM(a=1) = %v", om)
+	}
+	if om := p.OmegaMAt(1e-4); math.Abs(om-1) > 0.01 {
+		t.Errorf("OmegaM at early times = %v, want ~1", om)
+	}
+}
+
+func TestGrowthFactorNormalizedAndMonotonic(t *testing.T) {
+	p := Default()
+	if d := p.GrowthFactor(1); math.Abs(d-1) > 1e-12 {
+		t.Errorf("D(1) = %v, want 1", d)
+	}
+	prev := 0.0
+	for a := 0.01; a <= 1.0; a += 0.01 {
+		d := p.GrowthFactor(a)
+		if d <= prev {
+			t.Fatalf("growth factor not monotonic at a=%v: %v <= %v", a, d, prev)
+		}
+		prev = d
+	}
+	// During matter domination D ~ a.
+	ratio := p.GrowthFactor(0.02) / p.GrowthFactor(0.01)
+	if math.Abs(ratio-2) > 0.02 {
+		t.Errorf("matter-era growth ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestGrowthRateBounds(t *testing.T) {
+	p := Default()
+	f0 := p.GrowthRate(1)
+	if f0 <= 0.4 || f0 >= 0.6 {
+		t.Errorf("f(z=0) = %v, want ~0.5 for OmegaM=0.265", f0)
+	}
+	fEarly := p.GrowthRate(0.01)
+	if math.Abs(fEarly-1) > 0.01 {
+		t.Errorf("f early = %v, want ~1", fEarly)
+	}
+}
+
+func TestTransferBBKSLimits(t *testing.T) {
+	p := Default()
+	if tr := p.TransferBBKS(1e-6); math.Abs(tr-1) > 0.01 {
+		t.Errorf("T(k->0) = %v, want 1", tr)
+	}
+	if tr := p.TransferBBKS(0); tr != 1 {
+		t.Errorf("T(0) = %v", tr)
+	}
+	// Monotonically decreasing.
+	prev := 2.0
+	for _, k := range []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100} {
+		tr := p.TransferBBKS(k)
+		if tr >= prev {
+			t.Errorf("transfer not decreasing at k=%v", k)
+		}
+		if tr < 0 {
+			t.Errorf("negative transfer at k=%v", k)
+		}
+		prev = tr
+	}
+}
+
+func TestSigma8SelfConsistent(t *testing.T) {
+	p := Default()
+	if got := p.SigmaR(8); math.Abs(got-p.Sigma8) > 1e-6 {
+		t.Errorf("SigmaR(8) = %v, want %v", got, p.Sigma8)
+	}
+}
+
+func TestSigmaRDecreasesWithRadius(t *testing.T) {
+	p := Default()
+	prev := math.Inf(1)
+	for _, r := range []float64{0.5, 1, 2, 4, 8, 16, 32} {
+		s := p.SigmaR(r)
+		if s >= prev {
+			t.Errorf("SigmaR not decreasing at r=%v", r)
+		}
+		prev = s
+	}
+}
+
+func TestPowerSpectrumShape(t *testing.T) {
+	p := Default()
+	if p.PowerSpectrum(0) != 0 {
+		t.Error("P(0) should be 0")
+	}
+	if p.PowerSpectrum(-1) != 0 {
+		t.Error("P(k<0) should be 0")
+	}
+	// P(k) rises as ~k^ns at low k, falls at high k: peak in between.
+	pLow := p.PowerSpectrum(1e-4)
+	pPeak := p.PowerSpectrum(0.02)
+	pHigh := p.PowerSpectrum(10)
+	if !(pPeak > pLow && pPeak > pHigh) {
+		t.Errorf("power spectrum not peaked: %v %v %v", pLow, pPeak, pHigh)
+	}
+}
+
+func TestParticleMassQContinuumScale(t *testing.T) {
+	p := Default()
+	// Q Continuum: 8192³ particles, ~1300 Mpc/h box -> ~1.5e8 Msun/h,
+	// matching the paper's "~10^8 Msun" mass resolution.
+	m := p.ParticleMass(1300/p.LittleH()*p.LittleH(), 8192) // 1300 Mpc/h box
+	if m < 2e7 || m > 1e9 {
+		t.Errorf("Q Continuum particle mass = %.3g Msun/h, want ~1e8", m)
+	}
+	// Downscaled run: 1024³ in (162.5 Mpc)³ with similar mass resolution
+	// (the paper's key scaling claim: volume drops 512x, resolution similar).
+	h := p.LittleH()
+	mSmall := p.ParticleMass(162.5*h, 1024)
+	mBig := p.ParticleMass(1300*h, 8192)
+	if ratio := mSmall / mBig; ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("mass resolution ratio small/large = %v, want ~1", ratio)
+	}
+}
+
+func TestLagrangianRadiusInvertsMass(t *testing.T) {
+	p := Default()
+	m := 1e13
+	r := p.LagrangianRadius(m)
+	back := 4 * math.Pi / 3 * r * r * r * p.MeanMatterDensity()
+	if math.Abs(back-m)/m > 1e-9 {
+		t.Errorf("round trip mass = %v, want %v", back, m)
+	}
+}
+
+func TestMassFunctionShape(t *testing.T) {
+	p := Default()
+	// Counts fall steeply with mass.
+	n12 := p.MassFunction(1e12, 0)
+	n14 := p.MassFunction(1e14, 0)
+	n15 := p.MassFunction(1e15, 0)
+	if !(n12 > n14 && n14 > n15) {
+		t.Errorf("mass function not decreasing: %v %v %v", n12, n14, n15)
+	}
+	if n12 <= 0 {
+		t.Error("mass function should be positive at 1e12")
+	}
+	// Massive halos are rarer at higher redshift (structures grow).
+	if p.MassFunction(1e15, 1.68) >= p.MassFunction(1e15, 0) {
+		t.Error("1e15 halos should be rarer at z=1.68 than at z=0")
+	}
+}
+
+func TestExpectedHaloCountsDecreasing(t *testing.T) {
+	p := Default()
+	counts := p.ExpectedHaloCounts(162.5*p.LittleH(), 1e11, 10, 4, 0)
+	if len(counts) != 4 {
+		t.Fatalf("got %d bins", len(counts))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] >= counts[i-1] {
+			t.Errorf("bin %d not decreasing: %v >= %v", i, counts[i], counts[i-1])
+		}
+	}
+	if counts[0] <= 0 {
+		t.Error("lowest mass bin should have halos")
+	}
+}
+
+// Property: growth factor stays in (0, 1] for a in (0, 1].
+func TestPropertyGrowthFactorBounded(t *testing.T) {
+	p := Default()
+	f := func(raw uint16) bool {
+		a := (float64(raw) + 1) / 65537 // in (0, 1)
+		d := p.GrowthFactor(a)
+		return d > 0 && d <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PowerSpectrum is non-negative everywhere.
+func TestPropertyPowerSpectrumNonNegative(t *testing.T) {
+	p := Default()
+	f := func(raw uint32) bool {
+		k := math.Exp(float64(raw%2000)/100 - 10) // k in e^-10 .. e^10
+		return p.PowerSpectrum(k) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package cosmotools
+
+import (
+	"repro/internal/grid"
+)
+
+// DensityField emits the CIC density-contrast grid as a Level 2 data
+// product — Table 1 lists "density fields" among the Level 2 examples.
+// The grid can be coarser than the force mesh (Resolution), trading
+// fidelity for output volume exactly as production runs do.
+type DensityField struct {
+	sched EverySchedule
+	// Resolution is the output mesh dimension.
+	Resolution int
+}
+
+// NewDensityField returns the algorithm with a 32³ default mesh.
+func NewDensityField() *DensityField {
+	return &DensityField{sched: EverySchedule{Every: 1}, Resolution: 32}
+}
+
+// Name implements Algorithm.
+func (d *DensityField) Name() string { return "densityfield" }
+
+// SetParameters implements Algorithm. Keys: every, steps, resolution.
+func (d *DensityField) SetParameters(params map[string]string) error {
+	sched, err := MaybeParseSchedule(params, d.sched)
+	if err != nil {
+		return err
+	}
+	d.sched = sched
+	if d.Resolution, err = IntParam(params, "resolution", d.Resolution); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ShouldExecute implements Algorithm.
+func (d *DensityField) ShouldExecute(ctx *Context) bool { return d.sched.ShouldRun(ctx.Step) }
+
+// Execute implements Algorithm, storing "densityfield/delta" (a
+// *grid.Scalar density contrast, serializable via its WriteField method).
+func (d *DensityField) Execute(ctx *Context) error {
+	g, err := grid.NewScalar(d.Resolution, ctx.Box)
+	if err != nil {
+		return err
+	}
+	p := ctx.Particles
+	for i := 0; i < p.N(); i++ {
+		g.DepositCIC(p.X[i], p.Y[i], p.Z[i], 1)
+	}
+	if err := g.ToDensityContrast(); err != nil {
+		return err
+	}
+	ctx.Outputs["densityfield/delta"] = g
+	return nil
+}

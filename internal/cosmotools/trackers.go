@@ -1,0 +1,142 @@
+package cosmotools
+
+import (
+	"fmt"
+
+	"repro/internal/halo"
+	"repro/internal/nbody"
+	"repro/internal/tracking"
+)
+
+// HaloTracker links each analysis step's halo catalog to the previous
+// one, building the evolution record the paper's introduction calls for
+// ("track their evolution to the end of the simulation. Over time, halos
+// merge and accrete mass", §3). It is the framework's example of a
+// *stateful* in-situ algorithm: it retains the previous step's catalog and
+// particle snapshot between invocations.
+type HaloTracker struct {
+	sched EverySchedule
+	// MinShared is the match threshold in shared particles.
+	MinShared int
+
+	prevParticles *nbody.Particles
+	prevCatalog   *halo.Catalog
+	prevStep      int
+}
+
+// NewHaloTracker returns a tracker with defaults (track at every analysis
+// step, 5 shared particles minimum).
+func NewHaloTracker() *HaloTracker {
+	return &HaloTracker{sched: EverySchedule{Every: 1}, MinShared: 5}
+}
+
+// Name implements Algorithm.
+func (ht *HaloTracker) Name() string { return "halotracker" }
+
+// SetParameters implements Algorithm. Keys: every, steps, min_shared.
+func (ht *HaloTracker) SetParameters(params map[string]string) error {
+	sched, err := MaybeParseSchedule(params, ht.sched)
+	if err != nil {
+		return err
+	}
+	ht.sched = sched
+	if ht.MinShared, err = IntParam(params, "min_shared", ht.MinShared); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ShouldExecute implements Algorithm.
+func (ht *HaloTracker) ShouldExecute(ctx *Context) bool { return ht.sched.ShouldRun(ctx.Step) }
+
+// TrackerOutput is the per-step tracking product.
+type TrackerOutput struct {
+	// FromStep and ToStep identify the linked snapshots.
+	FromStep, ToStep int
+	// Matches holds the links, mergers and orphans.
+	Matches *tracking.Matches
+}
+
+// Execute implements Algorithm, reading "halofinder/catalog" and — from
+// the second invocation on — storing "halotracker/links". The previous
+// snapshot is retained via a cloned particle set: the zero-copy rule
+// applies to the live Level 1 data, while history state is the
+// algorithm's own.
+func (ht *HaloTracker) Execute(ctx *Context) error {
+	catAny, ok := ctx.Outputs["halofinder/catalog"]
+	if !ok {
+		return fmt.Errorf("cosmotools: halotracker requires halofinder to run first")
+	}
+	cat := catAny.(*halo.Catalog)
+	if ht.prevCatalog != nil {
+		m, err := tracking.Match(ht.prevParticles, ht.prevCatalog, ctx.Particles, cat,
+			tracking.Options{MinShared: ht.MinShared})
+		if err != nil {
+			return err
+		}
+		ctx.Outputs["halotracker/links"] = TrackerOutput{
+			FromStep: ht.prevStep,
+			ToStep:   ctx.Step,
+			Matches:  m,
+		}
+	}
+	ht.prevParticles = ctx.Particles.Clone()
+	ht.prevCatalog = cat
+	ht.prevStep = ctx.Step
+	return nil
+}
+
+// ParticleSampler emits a uniform random subsample of the Level 1
+// particles — the "subsamples of particles" Level 2 product of Table 1,
+// used downstream for visualization and density-field studies without the
+// full raw dump.
+type ParticleSampler struct {
+	sched EverySchedule
+	// Fraction kept.
+	Fraction float64
+	// Seed for deterministic sampling; the step number is mixed in so each
+	// step gets an independent sample.
+	Seed int64
+}
+
+// NewParticleSampler returns a sampler with a 1% default fraction.
+func NewParticleSampler() *ParticleSampler {
+	return &ParticleSampler{sched: EverySchedule{Every: 1}, Fraction: 0.01, Seed: 42}
+}
+
+// Name implements Algorithm.
+func (ps *ParticleSampler) Name() string { return "particlesampler" }
+
+// SetParameters implements Algorithm. Keys: every, steps, fraction, seed.
+func (ps *ParticleSampler) SetParameters(params map[string]string) error {
+	sched, err := MaybeParseSchedule(params, ps.sched)
+	if err != nil {
+		return err
+	}
+	ps.sched = sched
+	if ps.Fraction, err = FloatParam(params, "fraction", ps.Fraction); err != nil {
+		return err
+	}
+	seed, err := IntParam(params, "seed", int(ps.Seed))
+	if err != nil {
+		return err
+	}
+	ps.Seed = int64(seed)
+	if ps.Fraction < 0 || ps.Fraction > 1 {
+		return fmt.Errorf("cosmotools: sampler fraction %g out of [0, 1]", ps.Fraction)
+	}
+	return nil
+}
+
+// ShouldExecute implements Algorithm.
+func (ps *ParticleSampler) ShouldExecute(ctx *Context) bool { return ps.sched.ShouldRun(ctx.Step) }
+
+// Execute implements Algorithm, storing "particlesampler/subsample".
+func (ps *ParticleSampler) Execute(ctx *Context) error {
+	sub, err := ctx.Particles.Subsample(ps.Fraction, ps.Seed+int64(ctx.Step))
+	if err != nil {
+		return err
+	}
+	ctx.Outputs["particlesampler/subsample"] = sub
+	return nil
+}

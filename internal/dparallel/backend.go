@@ -1,0 +1,165 @@
+// Package dparallel provides portable data-parallel primitives in the style
+// of PISTON/VTK-m (and the underlying Thrust library) that the paper's
+// analysis algorithms are written against.
+//
+// The central idea reproduced here is that a single implementation of an
+// analysis algorithm, expressed in terms of primitives such as Map, Reduce,
+// Scan and Sort, can be retargeted to different execution backends without
+// change. The paper compiles the same PISTON source to CUDA, OpenMP and TBB
+// backends; this package offers a Serial backend, a Parallel backend that
+// fans work out over a goroutine pool, and a Device backend that wraps
+// another backend while modelling an accelerator with a calibrated speedup
+// factor (used by the platform cost model, see internal/platform).
+package dparallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Backend is an execution target for the data-parallel primitives. ForRange
+// is the only primitive a backend must supply; every other operation in this
+// package is built on top of it, mirroring how Thrust builds its algorithm
+// library above a minimal parallel-for substrate.
+type Backend interface {
+	// Name identifies the backend in logs and benchmark labels.
+	Name() string
+	// Workers reports the degree of parallelism the backend exposes.
+	Workers() int
+	// ForRange invokes fn(lo, hi) over disjoint subranges covering [0, n).
+	// Calls may run concurrently; fn must be safe for the index ranges it
+	// is given.
+	ForRange(n int, fn func(lo, hi int))
+}
+
+// Serial executes every primitive on the calling goroutine. It is the
+// reference backend: all other backends must produce results identical to
+// it (up to floating-point reduction order, which this package keeps
+// deterministic by reducing per-chunk results in index order).
+type Serial struct{}
+
+// Name implements Backend.
+func (Serial) Name() string { return "serial" }
+
+// Workers implements Backend.
+func (Serial) Workers() int { return 1 }
+
+// ForRange implements Backend.
+func (Serial) ForRange(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	fn(0, n)
+}
+
+// Parallel executes primitives across a pool of goroutines, one chunk per
+// worker. The zero value uses GOMAXPROCS workers.
+type Parallel struct {
+	// NumWorkers is the number of concurrent chunks; if <= 0,
+	// runtime.GOMAXPROCS(0) is used.
+	NumWorkers int
+	// MinChunk is the smallest amount of work given to a single worker.
+	// Ranges shorter than MinChunk run serially. If <= 0 a default of 1024
+	// is used, which keeps goroutine overhead negligible for the particle
+	// workloads in this repository.
+	MinChunk int
+}
+
+// Name implements Backend.
+func (p Parallel) Name() string { return fmt.Sprintf("parallel(%d)", p.workers()) }
+
+// Workers implements Backend.
+func (p Parallel) Workers() int { return p.workers() }
+
+func (p Parallel) workers() int {
+	if p.NumWorkers > 0 {
+		return p.NumWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (p Parallel) minChunk() int {
+	if p.MinChunk > 0 {
+		return p.MinChunk
+	}
+	return 1024
+}
+
+// ForRange implements Backend.
+func (p Parallel) ForRange(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers()
+	if w <= 1 || n <= p.minChunk() {
+		fn(0, n)
+		return
+	}
+	chunks := w
+	if max := (n + p.minChunk() - 1) / p.minChunk(); chunks > max {
+		chunks = max
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Device models an accelerator (the GPUs of Titan or Moonlight in the
+// paper). Computation is delegated to Host — results are always real — but
+// the backend carries a Speedup factor that the platform cost model applies
+// when projecting wall-clock times onto the modelled machine. The paper
+// reports a factor of ~50 between the serial CPU A* center finder and the
+// PISTON GPU implementation on Titan (§4.1).
+type Device struct {
+	// Host performs the actual computation. If nil, Parallel{} is used.
+	Host Backend
+	// Speedup is the modelled acceleration over a single CPU core; it must
+	// be positive to be meaningful. It does not change computed values,
+	// only the time the platform model charges for them.
+	Speedup float64
+	// Label names the device, e.g. "K20X" or "M2090".
+	Label string
+}
+
+// Name implements Backend.
+func (d Device) Name() string {
+	if d.Label != "" {
+		return "device(" + d.Label + ")"
+	}
+	return "device"
+}
+
+// Workers implements Backend.
+func (d Device) Workers() int { return d.host().Workers() }
+
+func (d Device) host() Backend {
+	if d.Host != nil {
+		return d.Host
+	}
+	return Parallel{}
+}
+
+// ForRange implements Backend.
+func (d Device) ForRange(n int, fn func(lo, hi int)) { d.host().ForRange(n, fn) }
+
+// ModelSpeedup reports the speedup factor the cost model should apply for
+// work executed on b. Non-device backends report 1.
+func ModelSpeedup(b Backend) float64 {
+	if d, ok := b.(Device); ok && d.Speedup > 0 {
+		return d.Speedup
+	}
+	return 1
+}
+
+// Default is the backend used by package-level convenience wrappers. It is
+// a Parallel backend sized to the machine.
+var Default Backend = Parallel{}

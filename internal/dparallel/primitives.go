@@ -1,0 +1,330 @@
+package dparallel
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Map applies fn to every index in [0, n) on the given backend. It is the
+// fundamental transform primitive: fn typically writes element i of an
+// output slice from element i of one or more input slices.
+func Map(b Backend, n int, fn func(i int)) {
+	b.ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// MapChunks applies fn to contiguous chunks, letting callers hoist per-chunk
+// state (scratch buffers, partial sums) out of the inner loop.
+func MapChunks(b Backend, n int, fn func(lo, hi int)) {
+	b.ForRange(n, fn)
+}
+
+// Reduce combines value(i) for i in [0, n) with the associative function
+// combine, starting from identity. Per-chunk partials are combined in chunk
+// order so that results are deterministic for a given backend chunking.
+func Reduce(b Backend, n int, identity float64, value func(i int) float64, combine func(a, b float64) float64) float64 {
+	type part struct {
+		lo  int
+		val float64
+	}
+	var mu chunkCollector[part]
+	b.ForRange(n, func(lo, hi int) {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, value(i))
+		}
+		mu.add(part{lo, acc})
+	})
+	parts := mu.sorted(func(a, b part) bool { return a.lo < b.lo })
+	acc := identity
+	for _, p := range parts {
+		acc = combine(acc, p.val)
+	}
+	return acc
+}
+
+// Sum reduces value(i) by addition.
+func Sum(b Backend, n int, value func(i int) float64) float64 {
+	return Reduce(b, n, 0, value, func(a, v float64) float64 { return a + v })
+}
+
+// MinIndex returns the index i in [0, n) minimizing value(i), together with
+// the minimum value. Ties resolve to the smallest index so the result is
+// independent of backend chunking. It returns (-1, +Inf) when n <= 0.
+//
+// MinIndex is the primitive at the heart of the paper's data-parallel MBP
+// center finder: compute the potential of every particle in parallel, then
+// take the argmin.
+func MinIndex(b Backend, n int, value func(i int) float64) (int, float64) {
+	if n <= 0 {
+		return -1, math.Inf(1)
+	}
+	type part struct {
+		idx int
+		val float64
+	}
+	var mu chunkCollector[part]
+	b.ForRange(n, func(lo, hi int) {
+		best := lo
+		bestVal := value(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := value(i); v < bestVal {
+				best, bestVal = i, v
+			}
+		}
+		mu.add(part{best, bestVal})
+	})
+	parts := mu.sorted(func(a, b part) bool { return a.idx < b.idx })
+	best, bestVal := parts[0].idx, parts[0].val
+	for _, p := range parts[1:] {
+		if p.val < bestVal {
+			best, bestVal = p.idx, p.val
+		}
+	}
+	return best, bestVal
+}
+
+// MaxIndex returns the index maximizing value(i) and the maximum value,
+// with ties resolving to the smallest index; (-1, -Inf) when n <= 0.
+func MaxIndex(b Backend, n int, value func(i int) float64) (int, float64) {
+	idx, v := MinIndex(b, n, func(i int) float64 { return -value(i) })
+	if idx < 0 {
+		return -1, math.Inf(-1)
+	}
+	return idx, -v
+}
+
+// Count returns the number of indices for which pred is true.
+func Count(b Backend, n int, pred func(i int) bool) int {
+	type part struct {
+		lo int
+		c  int
+	}
+	var mu chunkCollector[part]
+	b.ForRange(n, func(lo, hi int) {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				c++
+			}
+		}
+		mu.add(part{lo, c})
+	})
+	total := 0
+	for _, p := range mu.items {
+		total += p.c
+	}
+	return total
+}
+
+// InclusiveScan writes into out the running combination of value(0..i)
+// (an inclusive prefix scan). out must have length >= n. The scan is
+// computed with the classic two-pass chunked algorithm: per-chunk partials,
+// serial combine of partials, then a parallel downsweep.
+func InclusiveScan(b Backend, n int, value func(i int) float64, out []float64) {
+	if n <= 0 {
+		return
+	}
+	// Pass 1: per-chunk inclusive scans plus chunk totals.
+	type part struct {
+		lo, hi int
+		total  float64
+	}
+	var mu chunkCollector[part]
+	b.ForRange(n, func(lo, hi int) {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += value(i)
+			out[i] = acc
+		}
+		mu.add(part{lo, hi, acc})
+	})
+	parts := mu.sorted(func(a, b part) bool { return a.lo < b.lo })
+	// Pass 2: offset each chunk by the sum of preceding chunk totals.
+	offset := 0.0
+	for _, p := range parts {
+		if offset != 0 {
+			lo, hi, off := p.lo, p.hi, offset
+			b.ForRange(hi-lo, func(l, h int) {
+				for i := lo + l; i < lo+h; i++ {
+					out[i] += off
+				}
+			})
+		}
+		offset += p.total
+	}
+}
+
+// ExclusiveScanInt computes an exclusive integer prefix sum of value(i)
+// into out (out[0]=0) and returns the grand total. It is the stream
+// compaction workhorse used by Filter.
+func ExclusiveScanInt(n int, value func(i int) int, out []int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		out[i] = acc
+		acc += value(i)
+	}
+	return acc
+}
+
+// Filter returns the indices in [0, n) satisfying pred, in ascending order
+// (a stream compaction). The flag pass runs on the backend; the compaction
+// pass is a serial scan, which is O(n) and never dominates.
+func Filter(b Backend, n int, pred func(i int) bool) []int {
+	if n <= 0 {
+		return nil
+	}
+	flags := make([]int, n)
+	Map(b, n, func(i int) {
+		if pred(i) {
+			flags[i] = 1
+		}
+	})
+	offsets := make([]int, n)
+	total := ExclusiveScanInt(n, func(i int) int { return flags[i] }, offsets)
+	out := make([]int, total)
+	Map(b, n, func(i int) {
+		if flags[i] == 1 {
+			out[offsets[i]] = i
+		}
+	})
+	return out
+}
+
+// Gather copies src[idx[i]] into dst[i] for each i.
+func Gather[T any](b Backend, idx []int, src, dst []T) {
+	Map(b, len(idx), func(i int) { dst[i] = src[idx[i]] })
+}
+
+// Scatter copies src[i] into dst[idx[i]] for each i. Indices must be
+// distinct or the result is unspecified.
+func Scatter[T any](b Backend, idx []int, src, dst []T) {
+	Map(b, len(idx), func(i int) { dst[idx[i]] = src[i] })
+}
+
+// SortByKey sorts the permutation perm (which must initially contain each
+// index of keys exactly once, in any order) so that keys[perm[i]] is
+// non-decreasing. The sort is stable with respect to the initial order of
+// perm. Thrust exposes the same operation as sort_by_key; the paper's
+// subhalo finder iterates particles in density-sorted order via exactly
+// this primitive.
+func SortByKey(perm []int, keys []float64) {
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+}
+
+// Iota fills out with 0..len(out)-1.
+func Iota(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+}
+
+// chunkCollector accumulates per-chunk partial results under a mutex.
+type chunkCollector[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+func (c *chunkCollector[T]) add(v T) {
+	c.mu.Lock()
+	c.items = append(c.items, v)
+	c.mu.Unlock()
+}
+
+func (c *chunkCollector[T]) sorted(less func(a, b T) bool) []T {
+	sort.Slice(c.items, func(i, j int) bool { return less(c.items[i], c.items[j]) })
+	return c.items
+}
+
+// ParallelSortByKey is SortByKey with chunked parallel sorting and a
+// stable pairwise merge cascade — the shape of Thrust's merge sort, which
+// PISTON's algorithms lean on heavily. Results are identical to SortByKey
+// (stable ascending order by key).
+func ParallelSortByKey(b Backend, perm []int, keys []float64) {
+	n := len(perm)
+	w := b.Workers()
+	if w <= 1 || n < 2048 {
+		SortByKey(perm, keys)
+		return
+	}
+	// Chunk boundaries.
+	chunks := w
+	bounds := make([]int, chunks+1)
+	for c := 0; c <= chunks; c++ {
+		bounds[c] = c * n / chunks
+	}
+	// Sort chunks concurrently.
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			SortByKey(perm[lo:hi], keys)
+		}(bounds[c], bounds[c+1])
+	}
+	wg.Wait()
+	// Merge cascade: pairs of adjacent runs merge concurrently until one
+	// run remains. Stability holds because the left run's equal keys win.
+	buf := make([]int, n)
+	src, dst := perm, buf
+	runs := bounds
+	for len(runs) > 2 {
+		var next []int
+		var mg sync.WaitGroup
+		for i := 0; i+2 < len(runs); i += 2 {
+			lo, mid, hi := runs[i], runs[i+1], runs[i+2]
+			next = append(next, lo)
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeRuns(src, dst, keys, lo, mid, hi)
+			}(lo, mid, hi)
+		}
+		// A trailing unpaired run is copied through.
+		if len(runs)%2 == 0 {
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			next = append(next, lo)
+			mg.Add(1)
+			go func(lo, hi int) {
+				defer mg.Done()
+				copy(dst[lo:hi], src[lo:hi])
+			}(lo, hi)
+		}
+		mg.Wait()
+		next = append(next, n)
+		runs = next
+		src, dst = dst, src
+	}
+	if &src[0] != &perm[0] {
+		copy(perm, src)
+	}
+}
+
+// mergeRuns stably merges src[lo:mid] and src[mid:hi] into dst[lo:hi].
+func mergeRuns(src, dst []int, keys []float64, lo, mid, hi int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if keys[src[i]] <= keys[src[j]] {
+			dst[k] = src[i]
+			i++
+		} else {
+			dst[k] = src[j]
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		dst[k] = src[i]
+		i++
+		k++
+	}
+	for j < hi {
+		dst[k] = src[j]
+		j++
+		k++
+	}
+}

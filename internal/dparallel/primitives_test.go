@@ -1,0 +1,372 @@
+package dparallel
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// backends under test: every primitive must agree with the Serial reference.
+func testBackends() []Backend {
+	return []Backend{
+		Serial{},
+		Parallel{NumWorkers: 1},
+		Parallel{NumWorkers: 4, MinChunk: 8},
+		Parallel{NumWorkers: 16, MinChunk: 1},
+		Device{Host: Parallel{NumWorkers: 4, MinChunk: 4}, Speedup: 50, Label: "K20X"},
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	if (Serial{}).Name() != "serial" {
+		t.Errorf("Serial.Name() = %q", Serial{}.Name())
+	}
+	if got := (Parallel{NumWorkers: 3}).Name(); got != "parallel(3)" {
+		t.Errorf("Parallel.Name() = %q", got)
+	}
+	if got := (Device{Label: "K20X"}).Name(); got != "device(K20X)" {
+		t.Errorf("Device.Name() = %q", got)
+	}
+	if got := (Device{}).Name(); got != "device" {
+		t.Errorf("Device{}.Name() = %q", got)
+	}
+}
+
+func TestBackendWorkers(t *testing.T) {
+	if (Serial{}).Workers() != 1 {
+		t.Error("Serial should report 1 worker")
+	}
+	if (Parallel{NumWorkers: 7}).Workers() != 7 {
+		t.Error("Parallel{7} should report 7 workers")
+	}
+	if (Parallel{}).Workers() < 1 {
+		t.Error("default Parallel should report >= 1 worker")
+	}
+	if (Device{Host: Parallel{NumWorkers: 2}}).Workers() != 2 {
+		t.Error("Device should delegate Workers to host")
+	}
+}
+
+func TestModelSpeedup(t *testing.T) {
+	if s := ModelSpeedup(Serial{}); s != 1 {
+		t.Errorf("Serial speedup = %v, want 1", s)
+	}
+	if s := ModelSpeedup(Device{Speedup: 50}); s != 50 {
+		t.Errorf("Device speedup = %v, want 50", s)
+	}
+	if s := ModelSpeedup(Device{}); s != 1 {
+		t.Errorf("Device without speedup = %v, want 1", s)
+	}
+}
+
+func TestForRangeCoversAllIndices(t *testing.T) {
+	for _, b := range testBackends() {
+		for _, n := range []int{0, 1, 2, 7, 100, 1025} {
+			seen := make([]int32, n)
+			var cov chunkCollector[[2]int]
+			b.ForRange(n, func(lo, hi int) {
+				cov.add([2]int{lo, hi})
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("%s n=%d: index %d covered %d times", b.Name(), n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapWritesEveryElement(t *testing.T) {
+	for _, b := range testBackends() {
+		out := make([]float64, 999)
+		Map(b, len(out), func(i int) { out[i] = float64(i * i) })
+		for i, v := range out {
+			if v != float64(i*i) {
+				t.Fatalf("%s: out[%d] = %v", b.Name(), i, v)
+			}
+		}
+	}
+}
+
+func TestSumMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.Float64() - 0.5
+	}
+	want := Sum(Serial{}, len(vals), func(i int) float64 { return vals[i] })
+	for _, b := range testBackends() {
+		got := Sum(b, len(vals), func(i int) float64 { return vals[i] })
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: sum = %v, want %v", b.Name(), got, want)
+		}
+	}
+}
+
+func TestReduceEmptyReturnsIdentity(t *testing.T) {
+	got := Reduce(Parallel{}, 0, 42, func(int) float64 { return 0 }, func(a, b float64) float64 { return a + b })
+	if got != 42 {
+		t.Errorf("empty reduce = %v, want identity 42", got)
+	}
+}
+
+func TestMinIndex(t *testing.T) {
+	vals := []float64{5, 3, 8, 3, 9, 1, 1, 7}
+	for _, b := range testBackends() {
+		idx, v := MinIndex(b, len(vals), func(i int) float64 { return vals[i] })
+		if idx != 5 || v != 1 {
+			t.Errorf("%s: MinIndex = (%d, %v), want (5, 1)", b.Name(), idx, v)
+		}
+	}
+}
+
+func TestMinIndexEmpty(t *testing.T) {
+	idx, v := MinIndex(Parallel{}, 0, func(int) float64 { return 0 })
+	if idx != -1 || !math.IsInf(v, 1) {
+		t.Errorf("empty MinIndex = (%d, %v), want (-1, +Inf)", idx, v)
+	}
+}
+
+func TestMinIndexTieBreaksToSmallestIndex(t *testing.T) {
+	vals := make([]float64, 2048)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[100] = 0
+	vals[2000] = 0
+	for _, b := range testBackends() {
+		idx, _ := MinIndex(b, len(vals), func(i int) float64 { return vals[i] })
+		if idx != 100 {
+			t.Errorf("%s: tie broke to %d, want 100", b.Name(), idx)
+		}
+	}
+}
+
+func TestMaxIndex(t *testing.T) {
+	vals := []float64{5, 3, 8, 3, 9, 1, 9, 7}
+	idx, v := MaxIndex(Parallel{NumWorkers: 4, MinChunk: 2}, len(vals), func(i int) float64 { return vals[i] })
+	if idx != 4 || v != 9 {
+		t.Errorf("MaxIndex = (%d, %v), want (4, 9)", idx, v)
+	}
+	idx, v = MaxIndex(Serial{}, 0, func(int) float64 { return 0 })
+	if idx != -1 || !math.IsInf(v, -1) {
+		t.Errorf("empty MaxIndex = (%d, %v)", idx, v)
+	}
+}
+
+func TestCount(t *testing.T) {
+	for _, b := range testBackends() {
+		got := Count(b, 1000, func(i int) bool { return i%3 == 0 })
+		if got != 334 {
+			t.Errorf("%s: count = %d, want 334", b.Name(), got)
+		}
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	n := 777
+	want := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += float64(i % 13)
+		want[i] = acc
+	}
+	for _, b := range testBackends() {
+		out := make([]float64, n)
+		InclusiveScan(b, n, func(i int) float64 { return float64(i % 13) }, out)
+		for i := range out {
+			if math.Abs(out[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: scan[%d] = %v, want %v", b.Name(), i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExclusiveScanInt(t *testing.T) {
+	out := make([]int, 5)
+	total := ExclusiveScanInt(5, func(i int) int { return i + 1 }, out)
+	if total != 15 {
+		t.Errorf("total = %d, want 15", total)
+	}
+	want := []int{0, 1, 3, 6, 10}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("offsets = %v, want %v", out, want)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	for _, b := range testBackends() {
+		got := Filter(b, 20, func(i int) bool { return i%5 == 0 })
+		want := []int{0, 5, 10, 15}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: filter = %v, want %v", b.Name(), got, want)
+		}
+	}
+	if got := Filter(Serial{}, 0, func(int) bool { return true }); len(got) != 0 {
+		t.Errorf("empty filter = %v", got)
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	b := Parallel{NumWorkers: 4, MinChunk: 2}
+	src := []string{"a", "b", "c", "d", "e"}
+	idx := []int{4, 2, 0, 3, 1}
+	gathered := make([]string, 5)
+	Gather(b, idx, src, gathered)
+	if !reflect.DeepEqual(gathered, []string{"e", "c", "a", "d", "b"}) {
+		t.Fatalf("gather = %v", gathered)
+	}
+	back := make([]string, 5)
+	Scatter(b, idx, gathered, back)
+	if !reflect.DeepEqual(back, src) {
+		t.Fatalf("scatter round trip = %v, want %v", back, src)
+	}
+}
+
+func TestSortByKeyOrdersPermutation(t *testing.T) {
+	keys := []float64{3.5, -1, 2, 2, 0}
+	perm := make([]int, len(keys))
+	Iota(perm)
+	SortByKey(perm, keys)
+	want := []int{1, 4, 2, 3, 0} // stable: equal keys keep index order
+	if !reflect.DeepEqual(perm, want) {
+		t.Errorf("perm = %v, want %v", perm, want)
+	}
+}
+
+func TestIota(t *testing.T) {
+	out := make([]int, 4)
+	Iota(out)
+	if !reflect.DeepEqual(out, []int{0, 1, 2, 3}) {
+		t.Errorf("iota = %v", out)
+	}
+}
+
+// Property: for arbitrary inputs, parallel Sum/MinIndex/Filter agree with
+// the serial reference.
+func TestPropertyParallelMatchesSerial(t *testing.T) {
+	par := Parallel{NumWorkers: 8, MinChunk: 3}
+	f := func(vals []float64) bool {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+			// Keep magnitudes modest so floating-point reassociation across
+			// chunk boundaries cannot change sums beyond the tolerance.
+			vals[i] = math.Mod(vals[i], 1e6)
+		}
+		n := len(vals)
+		get := func(i int) float64 { return vals[i] }
+		s1 := Sum(Serial{}, n, get)
+		s2 := Sum(par, n, get)
+		if math.Abs(s1-s2) > 1e-6*(1+math.Abs(s1)) {
+			return false
+		}
+		i1, _ := MinIndex(Serial{}, n, get)
+		i2, _ := MinIndex(par, n, get)
+		if i1 != i2 {
+			return false
+		}
+		f1 := Filter(Serial{}, n, func(i int) bool { return vals[i] > 0 })
+		f2 := Filter(par, n, func(i int) bool { return vals[i] > 0 })
+		return reflect.DeepEqual(f1, f2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InclusiveScan's final element equals Sum.
+func TestPropertyScanTotalEqualsSum(t *testing.T) {
+	par := Parallel{NumWorkers: 5, MinChunk: 2}
+	f := func(raw []uint8) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		get := func(i int) float64 { return float64(raw[i]) }
+		out := make([]float64, n)
+		InclusiveScan(par, n, get, out)
+		return math.Abs(out[n-1]-Sum(Serial{}, n, get)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortByKey yields non-decreasing keys and a valid permutation.
+func TestPropertySortByKeyIsPermutation(t *testing.T) {
+	f := func(raw []int16) bool {
+		keys := make([]float64, len(raw))
+		for i, v := range raw {
+			keys[i] = float64(v)
+		}
+		perm := make([]int, len(keys))
+		Iota(perm)
+		SortByKey(perm, keys)
+		if !sort.SliceIsSorted(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] }) {
+			// SliceIsSorted with strict less can reject equal runs; check manually.
+			for i := 1; i < len(perm); i++ {
+				if keys[perm[i]] < keys[perm[i-1]] {
+					return false
+				}
+			}
+		}
+		seen := make([]bool, len(perm))
+		for _, p := range perm {
+			if p < 0 || p >= len(seen) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ParallelSortByKey must produce exactly SortByKey's (stable) result.
+func TestParallelSortByKeyMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 100, 2048, 10000} {
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(50)) // many duplicates: stability matters
+		}
+		want := make([]int, n)
+		Iota(want)
+		SortByKey(want, keys)
+		got := make([]int, n)
+		Iota(got)
+		ParallelSortByKey(Parallel{NumWorkers: 5}, got, keys)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: parallel sort differs from serial", n)
+		}
+	}
+}
+
+func TestPropertyParallelSortStable(t *testing.T) {
+	f := func(raw []uint8) bool {
+		keys := make([]float64, len(raw))
+		for i, v := range raw {
+			keys[i] = float64(v % 8)
+		}
+		a := make([]int, len(keys))
+		Iota(a)
+		SortByKey(a, keys)
+		b := make([]int, len(keys))
+		Iota(b)
+		ParallelSortByKey(Parallel{NumWorkers: 3}, b, keys)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package gio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nbody"
+)
+
+func randParticles(n int, seed int64) *nbody.Particles {
+	rng := rand.New(rand.NewSource(seed))
+	p := nbody.NewParticles(n)
+	for i := 0; i < n; i++ {
+		p.X[i] = rng.Float64() * 100
+		p.Y[i] = rng.Float64() * 100
+		p.Z[i] = rng.Float64() * 100
+		p.VX[i] = rng.NormFloat64()
+		p.VY[i] = rng.NormFloat64()
+		p.VZ[i] = rng.NormFloat64()
+		p.Tag[i] = rng.Int63()
+	}
+	return p
+}
+
+func TestRecordSizeIs36(t *testing.T) {
+	if RecordSize != 36 {
+		t.Fatalf("record size = %d, want the paper's 36 bytes", RecordSize)
+	}
+	if BytesForParticles(1000) != 36000 {
+		t.Errorf("BytesForParticles = %d", BytesForParticles(1000))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	blocks := []Block{
+		{Rank: 0, Particles: randParticles(100, 1)},
+		{Rank: 3, Particles: randParticles(50, 2)},
+		{Rank: 7, Particles: nbody.NewParticles(0)},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, blocks); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := len(Magic) + 8 + 3*(4+8+4) + (100+50)*RecordSize
+	if buf.Len() != wantLen {
+		t.Errorf("stream length = %d, want %d", buf.Len(), wantLen)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("blocks = %d", len(got))
+	}
+	for bi, b := range got {
+		want := blocks[bi]
+		if b.Rank != want.Rank {
+			t.Errorf("block %d rank = %d, want %d", bi, b.Rank, want.Rank)
+		}
+		if b.Particles.N() != want.Particles.N() {
+			t.Fatalf("block %d count = %d, want %d", bi, b.Particles.N(), want.Particles.N())
+		}
+		for i := 0; i < b.Particles.N(); i++ {
+			// float32 storage: compare at float32 precision.
+			if float32(b.Particles.X[i]) != float32(want.Particles.X[i]) {
+				t.Fatalf("block %d particle %d x mismatch", bi, i)
+			}
+			if b.Particles.Tag[i] != want.Particles.Tag[i] {
+				t.Fatalf("block %d particle %d tag mismatch", bi, i)
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTMAGIC\x01\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Error("expected magic error")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Block{{Rank: 0, Particles: randParticles(10, 3)}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Block{{Rank: 0, Particles: randParticles(10, 4)}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0xFF // flip a payload byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("expected checksum error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "step42.gio")
+	blocks := []Block{{Rank: 5, Particles: randParticles(25, 5)}}
+	if err := WriteFile(path, blocks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rank != 5 || got[0].Particles.N() != 25 {
+		t.Errorf("got %+v", got)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.gio")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	blocks := []Block{
+		{Rank: 0, Particles: randParticles(10, 6)},
+		{Rank: 1, Particles: randParticles(20, 7)},
+	}
+	merged := Merge(blocks)
+	if merged.N() != 30 {
+		t.Errorf("merged N = %d", merged.N())
+	}
+	if merged.Tag[0] != blocks[0].Particles.Tag[0] || merged.Tag[10] != blocks[1].Particles.Tag[0] {
+		t.Error("merge order wrong")
+	}
+}
+
+func TestAggregationPlanPaperShape(t *testing.T) {
+	// Q Continuum: 16384 ranks in files of 128 -> 128 files of 128 blocks.
+	plan, err := AggregationPlan(16384, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 128 {
+		t.Fatalf("files = %d, want 128", len(plan))
+	}
+	for fi, group := range plan {
+		if len(group) != 128 {
+			t.Fatalf("file %d has %d blocks", fi, len(group))
+		}
+		if group[0] != fi*128 {
+			t.Fatalf("file %d starts at rank %d", fi, group[0])
+		}
+	}
+}
+
+func TestAggregationPlanUneven(t *testing.T) {
+	plan, err := AggregationPlan(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 || len(plan[2]) != 2 {
+		t.Errorf("plan = %v", plan)
+	}
+	if _, err := AggregationPlan(0, 4); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLevel1SizeMatchesTable1(t *testing.T) {
+	// Table 1: 1024³ particles -> ~40 GB raw; 8192³ -> ~20 TB.
+	gb := float64(BytesForParticles(1024*1024*1024)) / 1e9
+	if gb < 35 || gb > 45 {
+		t.Errorf("1024³ Level 1 = %.1f GB, paper says ~40 GB", gb)
+	}
+	tb := float64(BytesForParticles(8192*8192*8192)) / 1e12
+	if tb < 18 || tb > 22 {
+		t.Errorf("8192³ Level 1 = %.1f TB, paper says ~20 TB", tb)
+	}
+
+}
+
+// failingWriter errors after n bytes, exercising gio's error paths.
+type failingWriter struct{ remaining int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > f.remaining {
+		n := f.remaining
+		f.remaining = 0
+		return n, errShort
+	}
+	f.remaining -= len(p)
+	return len(p), nil
+}
+
+var errShort = fmt.Errorf("writer full")
+
+func TestWriteErrorPaths(t *testing.T) {
+	blocks := []Block{{Rank: 0, Particles: randParticles(100, 9)}}
+	// Fail at several depths: magic, header, block header, payload.
+	for _, budget := range []int{0, 9, 14, 30, 200} {
+		if err := Write(&failingWriter{remaining: budget}, blocks); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+	// Invalid particles are rejected before any bytes flow.
+	bad := nbody.NewParticles(2)
+	bad.VX = bad.VX[:1]
+	var buf bytes.Buffer
+	if err := Write(&buf, []Block{{Rank: 0, Particles: bad}}); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestWriteFileCreateError(t *testing.T) {
+	err := WriteFile("/nonexistent-dir/zzz/file.gio", []Block{{Rank: 0, Particles: nbody.NewParticles(0)}})
+	if err == nil {
+		t.Error("expected path error")
+	}
+}
+
+func TestReadHeaderErrorPaths(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Block{{Rank: 1, Particles: randParticles(5, 10)}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncations at every header boundary.
+	for _, cut := range []int{4, 9, 13, 17, 25, 29} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("cut %d: expected error", cut)
+		}
+	}
+	// Unsupported version.
+	bad := append([]byte(nil), data...)
+	bad[8] = 99
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("expected version error")
+	}
+}

@@ -1,0 +1,179 @@
+// Package grid provides the uniform grids and Cloud-In-Cell (CIC)
+// operations shared by the particle-mesh gravity solver and the in-situ
+// power-spectrum analysis.
+//
+// HACC "uses uniform grids for calculating long-range forces" (§3), and the
+// paper's canonical efficient in-situ task — the density fluctuation power
+// spectrum — "requires a density estimation on a regular grid via, e.g., a
+// Cloud-In-Cell (CIC) algorithm" (§1). The CIC kernel here is the standard
+// trilinear assignment: each particle's mass is shared among the eight grid
+// cells surrounding it with weights proportional to the overlap of a
+// cell-sized cloud centred on the particle.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scalar is a flattened n×n×n real-valued periodic field with cell (i,j,k)
+// at i*n*n + j*n + k, covering a cubic box of physical side BoxSize.
+type Scalar struct {
+	N       int
+	BoxSize float64
+	Data    []float64
+}
+
+// NewScalar allocates an n³ field over a box of side boxSize.
+func NewScalar(n int, boxSize float64) (*Scalar, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("grid: dimension %d must be positive", n)
+	}
+	if boxSize <= 0 {
+		return nil, fmt.Errorf("grid: box size %g must be positive", boxSize)
+	}
+	return &Scalar{N: n, BoxSize: boxSize, Data: make([]float64, n*n*n)}, nil
+}
+
+// CellSize returns the physical side length of one cell.
+func (g *Scalar) CellSize() float64 { return g.BoxSize / float64(g.N) }
+
+// Index returns the flat index of cell (i, j, k), already wrapped.
+func (g *Scalar) Index(i, j, k int) int { return (i*g.N+j)*g.N + k }
+
+// At returns the value in cell (i, j, k) with periodic wrapping.
+func (g *Scalar) At(i, j, k int) float64 {
+	return g.Data[g.Index(wrap(i, g.N), wrap(j, g.N), wrap(k, g.N))]
+}
+
+// Set assigns cell (i, j, k) with periodic wrapping.
+func (g *Scalar) Set(i, j, k int, v float64) {
+	g.Data[g.Index(wrap(i, g.N), wrap(j, g.N), wrap(k, g.N))] = v
+}
+
+// Fill sets every cell to v.
+func (g *Scalar) Fill(v float64) {
+	for i := range g.Data {
+		g.Data[i] = v
+	}
+}
+
+// Total returns the sum over all cells.
+func (g *Scalar) Total() float64 {
+	sum := 0.0
+	for _, v := range g.Data {
+		sum += v
+	}
+	return sum
+}
+
+// Mean returns the mean cell value.
+func (g *Scalar) Mean() float64 { return g.Total() / float64(len(g.Data)) }
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// wrapPos folds a coordinate into [0, L).
+func wrapPos(x, l float64) float64 {
+	x = math.Mod(x, l)
+	if x < 0 {
+		x += l
+	}
+	return x
+}
+
+// cicWeights computes, for a position x in box units, the lower cell index
+// and the pair of 1-D CIC weights along one axis.
+func cicWeights(x float64, n int, l float64) (i0, i1 int, w0, w1 float64) {
+	cell := float64(n) / l
+	// Shift by half a cell so cell centres sit at (i+0.5)*dx.
+	u := wrapPos(x, l)*cell - 0.5
+	f := math.Floor(u)
+	d := u - f
+	i0 = wrap(int(f), n)
+	i1 = wrap(int(f)+1, n)
+	return i0, i1, 1 - d, d
+}
+
+// DepositCIC adds mass m at position (x, y, z) using Cloud-In-Cell
+// weighting. Positions outside the box are wrapped periodically.
+func (g *Scalar) DepositCIC(x, y, z, m float64) {
+	i0, i1, wx0, wx1 := cicWeights(x, g.N, g.BoxSize)
+	j0, j1, wy0, wy1 := cicWeights(y, g.N, g.BoxSize)
+	k0, k1, wz0, wz1 := cicWeights(z, g.N, g.BoxSize)
+	g.Data[g.Index(i0, j0, k0)] += m * wx0 * wy0 * wz0
+	g.Data[g.Index(i0, j0, k1)] += m * wx0 * wy0 * wz1
+	g.Data[g.Index(i0, j1, k0)] += m * wx0 * wy1 * wz0
+	g.Data[g.Index(i0, j1, k1)] += m * wx0 * wy1 * wz1
+	g.Data[g.Index(i1, j0, k0)] += m * wx1 * wy0 * wz0
+	g.Data[g.Index(i1, j0, k1)] += m * wx1 * wy0 * wz1
+	g.Data[g.Index(i1, j1, k0)] += m * wx1 * wy1 * wz0
+	g.Data[g.Index(i1, j1, k1)] += m * wx1 * wy1 * wz1
+}
+
+// InterpolateCIC reads the field at position (x, y, z) with the same CIC
+// weighting used for deposits, guaranteeing momentum-conserving force
+// interpolation when used with DepositCIC.
+func (g *Scalar) InterpolateCIC(x, y, z float64) float64 {
+	i0, i1, wx0, wx1 := cicWeights(x, g.N, g.BoxSize)
+	j0, j1, wy0, wy1 := cicWeights(y, g.N, g.BoxSize)
+	k0, k1, wz0, wz1 := cicWeights(z, g.N, g.BoxSize)
+	return g.Data[g.Index(i0, j0, k0)]*wx0*wy0*wz0 +
+		g.Data[g.Index(i0, j0, k1)]*wx0*wy0*wz1 +
+		g.Data[g.Index(i0, j1, k0)]*wx0*wy1*wz0 +
+		g.Data[g.Index(i0, j1, k1)]*wx0*wy1*wz1 +
+		g.Data[g.Index(i1, j0, k0)]*wx1*wy0*wz0 +
+		g.Data[g.Index(i1, j0, k1)]*wx1*wy0*wz1 +
+		g.Data[g.Index(i1, j1, k0)]*wx1*wy1*wz0 +
+		g.Data[g.Index(i1, j1, k1)]*wx1*wy1*wz1
+}
+
+// ToDensityContrast converts a mass grid into the dimensionless density
+// contrast delta = rho/rhoMean - 1. It returns an error when the grid holds
+// no mass.
+func (g *Scalar) ToDensityContrast() error {
+	mean := g.Mean()
+	if mean <= 0 {
+		return fmt.Errorf("grid: cannot form density contrast of empty grid")
+	}
+	for i := range g.Data {
+		g.Data[i] = g.Data[i]/mean - 1
+	}
+	return nil
+}
+
+// Gradient computes the central-difference gradient component along axis
+// (0=x, 1=y, 2=z) into out, with periodic wrapping. out must have the same
+// dimension as g.
+func (g *Scalar) Gradient(axis int, out *Scalar) error {
+	if out.N != g.N {
+		return fmt.Errorf("grid: gradient output dimension %d != %d", out.N, g.N)
+	}
+	if axis < 0 || axis > 2 {
+		return fmt.Errorf("grid: invalid axis %d", axis)
+	}
+	inv2dx := 1 / (2 * g.CellSize())
+	n := g.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				var plus, minus float64
+				switch axis {
+				case 0:
+					plus, minus = g.At(i+1, j, k), g.At(i-1, j, k)
+				case 1:
+					plus, minus = g.At(i, j+1, k), g.At(i, j-1, k)
+				default:
+					plus, minus = g.At(i, j, k+1), g.At(i, j, k-1)
+				}
+				out.Data[out.Index(i, j, k)] = (plus - minus) * inv2dx
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Binary serialization for scalar fields: density grids are one of the
+// paper's Level 2 data products (Table 1 lists "density fields" between
+// halo particles and particle subsamples), written by the in-situ layer
+// for downstream off-line analysis.
+
+const fieldMagic = "HACCGRID"
+
+// WriteField serializes the field: magic, dimension, box size, float64 cells,
+// CRC32 trailer.
+func (g *Scalar) WriteField(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.WriteString(fieldMagic)
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(g.N)); err != nil {
+		return err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, g.BoxSize); err != nil {
+		return err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, g.Data); err != nil {
+		return err
+	}
+	payload := buf.Bytes()
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(payload))
+}
+
+// ReadScalar deserializes a field written by WriteField, verifying the
+// checksum.
+func ReadScalar(r io.Reader) (*Scalar, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("grid: reading field: %w", err)
+	}
+	if len(data) < len(fieldMagic)+4+8+4 {
+		return nil, fmt.Errorf("grid: field stream too short (%d bytes)", len(data))
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("grid: field checksum mismatch: %08x != %08x", got, want)
+	}
+	br := bytes.NewReader(payload)
+	magic := make([]byte, len(fieldMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fieldMagic {
+		return nil, fmt.Errorf("grid: bad field magic %q", magic)
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	var box float64
+	if err := binary.Read(br, binary.LittleEndian, &box); err != nil {
+		return nil, err
+	}
+	g, err := NewScalar(int(n), box)
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Data); err != nil {
+		return nil, fmt.Errorf("grid: field cells: %w", err)
+	}
+	return g, nil
+}

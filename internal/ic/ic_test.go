@@ -1,0 +1,195 @@
+package ic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/fft"
+	"repro/internal/powerspec"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	good := Options{NP: 16, Box: 50, ZInit: 50, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{NP: 15, Box: 50, ZInit: 50},
+		{NP: 16, Box: 0, ZInit: 50},
+		{NP: 16, Box: 50, ZInit: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndInBox(t *testing.T) {
+	c := cosmo.Default()
+	o := Options{NP: 16, Box: 50, ZInit: 50, Seed: 42}
+	p1, a1, err := Generate(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, a2, err := Generate(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || math.Abs(a1-1.0/51) > 1e-12 {
+		t.Errorf("a = %v, %v", a1, a2)
+	}
+	if p1.N() != 16*16*16 {
+		t.Fatalf("N = %d", p1.N())
+	}
+	for i := 0; i < p1.N(); i++ {
+		if p1.X[i] != p2.X[i] || p1.VZ[i] != p2.VZ[i] {
+			t.Fatal("same seed produced different ICs")
+		}
+		if p1.X[i] < 0 || p1.X[i] >= o.Box || p1.Y[i] < 0 || p1.Y[i] >= o.Box || p1.Z[i] < 0 || p1.Z[i] >= o.Box {
+			t.Fatalf("particle %d outside box: (%v,%v,%v)", i, p1.X[i], p1.Y[i], p1.Z[i])
+		}
+	}
+	// Different seed should differ.
+	p3, _, err := Generate(c, Options{NP: 16, Box: 50, ZInit: 50, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < p1.N(); i++ {
+		if p1.X[i] != p3.X[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical ICs")
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, _, err := Generate(cosmo.Params{}, Options{NP: 16, Box: 50, ZInit: 50}); err == nil {
+		t.Error("expected cosmology error")
+	}
+	if _, _, err := Generate(cosmo.Default(), Options{NP: 3, Box: 50, ZInit: 50}); err == nil {
+		t.Error("expected options error")
+	}
+}
+
+func TestGenerateTagsAreUnique(t *testing.T) {
+	p, _, err := Generate(cosmo.Default(), Options{NP: 8, Box: 20, ZInit: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool, p.N())
+	for _, tag := range p.Tag {
+		if seen[tag] {
+			t.Fatalf("duplicate tag %d", tag)
+		}
+		seen[tag] = true
+	}
+}
+
+// Displacements should be small at high z: particles stay near their
+// lattice sites and mean displacement is well below a cell.
+func TestDisplacementsSmallAtHighRedshift(t *testing.T) {
+	c := cosmo.Default()
+	o := Options{NP: 16, Box: 50, ZInit: 100, Seed: 5}
+	p, _, err := Generate(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq := o.Box / float64(o.NP)
+	idx := 0
+	sum := 0.0
+	for i := 0; i < o.NP; i++ {
+		for j := 0; j < o.NP; j++ {
+			for k := 0; k < o.NP; k++ {
+				qx := (float64(i) + 0.5) * dq
+				dx := p.X[idx] - qx
+				dx -= o.Box * math.Round(dx/o.Box)
+				sum += math.Abs(dx)
+				idx++
+			}
+		}
+	}
+	mean := sum / float64(p.N())
+	if mean > dq/2 {
+		t.Errorf("mean |displacement| = %v, want << cell %v at z=100", mean, dq)
+	}
+	if mean == 0 {
+		t.Error("displacements identically zero")
+	}
+}
+
+// The measured power spectrum of the generated field must match the linear
+// theory input scaled by D²(a) on large scales.
+func TestGeneratedPowerSpectrumMatchesLinearTheory(t *testing.T) {
+	c := cosmo.Default()
+	o := Options{NP: 32, Box: 100, ZInit: 20, Seed: 11}
+	p, a, err := Generate(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := powerspec.Measure(p, o.Box, o.NP, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.GrowthFactor(a)
+	// Compare the first few (large-scale) bins; CIC smoothing and shot
+	// noise distort small scales.
+	checked := 0
+	for b := 0; b < 3; b++ {
+		if res.Modes[b] < 10 {
+			continue
+		}
+		want := c.PowerSpectrum(res.K[b]) * d * d
+		ratio := res.P[b] / want
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("bin %d (k=%.3f): measured/theory = %v", b, res.K[b], ratio)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no bins checked")
+	}
+}
+
+// GaussianField obeys Hermitian symmetry implicitly (real input), so the
+// inverse transform must be (numerically) real.
+func TestGaussianFieldIsReal(t *testing.T) {
+	c := cosmo.Default()
+	cube, err := GaussianField(c, 16, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Inverse3D(); err != nil {
+		t.Fatal(err)
+	}
+	maxIm, maxRe := 0.0, 0.0
+	for _, v := range cube.Data {
+		if im := math.Abs(imag(v)); im > maxIm {
+			maxIm = im
+		}
+		if re := math.Abs(real(v)); re > maxRe {
+			maxRe = re
+		}
+	}
+	if maxIm > 1e-9*maxRe {
+		t.Errorf("imaginary residue %v vs real %v", maxIm, maxRe)
+	}
+}
+
+// The zero mode must vanish: a mean-zero density contrast.
+func TestGaussianFieldZeroMean(t *testing.T) {
+	c := cosmo.Default()
+	cube, err := GaussianField(c, 16, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.At(0, 0, 0) != 0 {
+		t.Errorf("k=0 mode = %v", cube.At(0, 0, 0))
+	}
+	_ = fft.IsPow2
+}

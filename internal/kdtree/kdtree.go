@@ -1,0 +1,449 @@
+// Package kdtree builds balanced k-d trees over particle positions.
+//
+// The paper's FOF halo finder works "using a serial algorithm which
+// constructs and then recursively traverses a balanced k-d tree ... At
+// higher levels of the tree, bounding boxes which define the space covered
+// by the subtree rooted at a node are used to reduce the number of
+// particle-to-particle distance comparisons" (§3.3.1). This tree provides
+// the balanced median-split construction, per-node bounding boxes, and the
+// (optionally periodic) fixed-radius neighbour queries the halo finder and
+// the subhalo density estimator build on.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tree is a balanced k-d tree over a fixed set of points. Points are
+// addressed by their index in the X/Y/Z arrays handed to Build.
+type Tree struct {
+	x, y, z []float64
+	// perm holds point indices; each node owns a contiguous span of perm.
+	perm  []int
+	nodes []node
+	// Period > 0 enables minimum-image distances with that box side on all
+	// axes; 0 means open (non-periodic) space — the mode used on rank-local
+	// data whose overload regions already materialize the periodic copies.
+	Period float64
+	// LeafSize is the maximum number of points in a leaf.
+	LeafSize int
+}
+
+// node is one k-d tree node covering perm[lo:hi].
+type node struct {
+	lo, hi      int // span in perm
+	left, right int // child node indices, -1 for leaves
+	// Bounding box of the points in the span.
+	minB, maxB [3]float64
+}
+
+// Build constructs a balanced tree over the given coordinates. x, y and z
+// must have equal length. period > 0 makes all distance queries periodic
+// with that box side. leafSize <= 0 selects a default of 16.
+func Build(x, y, z []float64, period float64, leafSize int) (*Tree, error) {
+	n := len(x)
+	if len(y) != n || len(z) != n {
+		return nil, fmt.Errorf("kdtree: coordinate lengths differ: %d/%d/%d", n, len(y), len(z))
+	}
+	if period < 0 {
+		return nil, fmt.Errorf("kdtree: period %g must be >= 0", period)
+	}
+	if leafSize <= 0 {
+		leafSize = 16
+	}
+	t := &Tree{x: x, y: y, z: z, Period: period, LeafSize: leafSize}
+	t.perm = make([]int, n)
+	for i := range t.perm {
+		t.perm[i] = i
+	}
+	if n > 0 {
+		t.build(0, n, 0)
+	}
+	return t, nil
+}
+
+// N returns the number of points in the tree.
+func (t *Tree) N() int { return len(t.x) }
+
+// coord returns the position of point i along axis.
+func (t *Tree) coord(i, axis int) float64 {
+	switch axis {
+	case 0:
+		return t.x[i]
+	case 1:
+		return t.y[i]
+	default:
+		return t.z[i]
+	}
+}
+
+// build creates the subtree over perm[lo:hi] splitting on axis, returning
+// its node index.
+func (t *Tree) build(lo, hi, axis int) int {
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{lo: lo, hi: hi, left: -1, right: -1})
+	// Bounding box.
+	nb := &t.nodes[idx]
+	for a := 0; a < 3; a++ {
+		nb.minB[a] = math.Inf(1)
+		nb.maxB[a] = math.Inf(-1)
+	}
+	for _, p := range t.perm[lo:hi] {
+		for a := 0; a < 3; a++ {
+			c := t.coord(p, a)
+			if c < nb.minB[a] {
+				nb.minB[a] = c
+			}
+			if c > nb.maxB[a] {
+				nb.maxB[a] = c
+			}
+		}
+	}
+	if hi-lo <= t.LeafSize {
+		return idx
+	}
+	// Median split on the given axis (balanced construction).
+	span := t.perm[lo:hi]
+	mid := len(span) / 2
+	nthElement(span, mid, func(a, b int) bool { return t.coord(a, axis) < t.coord(b, axis) })
+	next := (axis + 1) % 3
+	left := t.build(lo, lo+mid, next)
+	right := t.build(lo+mid, hi, next)
+	// t.nodes may have been reallocated by child appends.
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// nthElement partially sorts span so span[k] holds the element that would
+// be at position k in sorted order (a quickselect).
+func nthElement(span []int, k int, less func(a, b int) bool) {
+	lo, hi := 0, len(span)-1
+	for lo < hi {
+		p := partition(span, lo, hi, less)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func partition(span []int, lo, hi int, less func(a, b int) bool) int {
+	// Median-of-three pivot keeps the lattice-like inputs from degrading.
+	mid := (lo + hi) / 2
+	if less(span[mid], span[lo]) {
+		span[mid], span[lo] = span[lo], span[mid]
+	}
+	if less(span[hi], span[lo]) {
+		span[hi], span[lo] = span[lo], span[hi]
+	}
+	if less(span[hi], span[mid]) {
+		span[hi], span[mid] = span[mid], span[hi]
+	}
+	span[mid], span[hi] = span[hi], span[mid]
+	pivot := span[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if less(span[j], pivot) {
+			span[i], span[j] = span[j], span[i]
+			i++
+		}
+	}
+	span[i], span[hi] = span[hi], span[i]
+	return i
+}
+
+// axisDist returns the distance from coordinate c to the interval
+// [lo, hi] along one axis, honouring periodicity.
+func (t *Tree) axisDist(c, lo, hi float64) float64 {
+	d := axisDistOpen(c, lo, hi)
+	if t.Period > 0 {
+		if d2 := axisDistOpen(c+t.Period, lo, hi); d2 < d {
+			d = d2
+		}
+		if d2 := axisDistOpen(c-t.Period, lo, hi); d2 < d {
+			d = d2
+		}
+	}
+	return d
+}
+
+func axisDistOpen(c, lo, hi float64) float64 {
+	switch {
+	case c < lo:
+		return lo - c
+	case c > hi:
+		return c - hi
+	default:
+		return 0
+	}
+}
+
+// Dist2 returns the squared (minimum-image when periodic) distance between
+// point i and the coordinates (x, y, z).
+func (t *Tree) Dist2(i int, x, y, z float64) float64 {
+	dx := t.delta(t.x[i] - x)
+	dy := t.delta(t.y[i] - y)
+	dz := t.delta(t.z[i] - z)
+	return dx*dx + dy*dy + dz*dz
+}
+
+func (t *Tree) delta(d float64) float64 {
+	if t.Period > 0 {
+		d -= t.Period * math.Round(d/t.Period)
+	}
+	return d
+}
+
+// boxDist2 returns the squared distance from (x,y,z) to node nb's bounding
+// box (0 when inside).
+func (t *Tree) boxDist2(nb *node, x, y, z float64) float64 {
+	dx := t.axisDist(x, nb.minB[0], nb.maxB[0])
+	dy := t.axisDist(y, nb.minB[1], nb.maxB[1])
+	dz := t.axisDist(z, nb.minB[2], nb.maxB[2])
+	return dx*dx + dy*dy + dz*dz
+}
+
+// VisitWithin calls visit(j) for every point j with distance <= r from
+// (x, y, z), including the query point itself when it is in the tree.
+// visit returning false stops the traversal early.
+func (t *Tree) VisitWithin(x, y, z, r float64, visit func(j int) bool) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	r2 := r * r
+	t.visitWithin(0, x, y, z, r, r2, visit)
+}
+
+func (t *Tree) visitWithin(ni int, x, y, z, r, r2 float64, visit func(j int) bool) bool {
+	nb := &t.nodes[ni]
+	if t.boxDist2(nb, x, y, z) > r2 {
+		return true
+	}
+	if nb.left < 0 {
+		for _, j := range t.perm[nb.lo:nb.hi] {
+			if t.Dist2(j, x, y, z) <= r2 {
+				if !visit(j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !t.visitWithin(nb.left, x, y, z, r, r2, visit) {
+		return false
+	}
+	return t.visitWithin(nb.right, x, y, z, r, r2, visit)
+}
+
+// boxMaxDist2 returns (an upper bound on) the squared distance from
+// (x,y,z) to the farthest corner of node nb's bounding box, computed
+// without periodic wrapping. Open-space distance upper-bounds the periodic
+// minimum-image distance, so the bound remains valid for periodic trees.
+func boxMaxDist2(nb *node, x, y, z float64) float64 {
+	d2 := 0.0
+	for a, c := range [3]float64{x, y, z} {
+		lo := math.Abs(c - nb.minB[a])
+		hi := math.Abs(c - nb.maxB[a])
+		if hi > lo {
+			lo = hi
+		}
+		d2 += lo * lo
+	}
+	return d2
+}
+
+// VisitWithinBulk is VisitWithin with the subtree shortcut of §3.3.1:
+// "bounding boxes which define the space covered by the subtree rooted at
+// a node are used to reduce the number of particle-to-particle distance
+// comparisons, allowing whole subtrees to be merged into a halo or
+// excluded from a halo at once." When an entire node's box provably lies
+// within r of the query, bulk is called once with all member indices and
+// no per-point distance tests; otherwise traversal refines as usual and
+// in-range leaf points go to visit one by one. Either callback returning
+// false stops the traversal.
+func (t *Tree) VisitWithinBulk(x, y, z, r float64, bulk func(members []int) bool, visit func(j int) bool) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	r2 := r * r
+	t.visitWithinBulk(0, x, y, z, r2, bulk, visit)
+}
+
+func (t *Tree) visitWithinBulk(ni int, x, y, z, r2 float64, bulk func([]int) bool, visit func(int) bool) bool {
+	nb := &t.nodes[ni]
+	if t.boxDist2(nb, x, y, z) > r2 {
+		return true
+	}
+	if boxMaxDist2(nb, x, y, z) <= r2 {
+		return bulk(t.perm[nb.lo:nb.hi])
+	}
+	if nb.left < 0 {
+		for _, j := range t.perm[nb.lo:nb.hi] {
+			if t.Dist2(j, x, y, z) <= r2 {
+				if !visit(j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !t.visitWithinBulk(nb.left, x, y, z, r2, bulk, visit) {
+		return false
+	}
+	return t.visitWithinBulk(nb.right, x, y, z, r2, bulk, visit)
+}
+
+// Within returns the indices of all points with distance <= r from
+// (x, y, z), sorted ascending.
+func (t *Tree) Within(x, y, z, r float64) []int {
+	var out []int
+	t.VisitWithin(x, y, z, r, func(j int) bool {
+		out = append(out, j)
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+// TraverseNodes walks the tree from the root. visit is called with each
+// node's bounding box, its member index span (aliasing internal storage;
+// do not modify), and whether the node is a leaf. Returning true descends
+// into the node's children; leaves never descend. The A* center finder
+// uses this to build Barnes-Hut-style admissible potential bounds.
+func (t *Tree) TraverseNodes(visit func(minB, maxB [3]float64, members []int, isLeaf bool) bool) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.traverseNodes(0, visit)
+}
+
+func (t *Tree) traverseNodes(ni int, visit func(minB, maxB [3]float64, members []int, isLeaf bool) bool) {
+	nb := &t.nodes[ni]
+	isLeaf := nb.left < 0
+	if !visit(nb.minB, nb.maxB, t.perm[nb.lo:nb.hi], isLeaf) || isLeaf {
+		return
+	}
+	t.traverseNodes(nb.left, visit)
+	t.traverseNodes(nb.right, visit)
+}
+
+// Leaves returns the point indices of every leaf node, one slice per leaf.
+// The returned slices alias the tree's internal permutation and must not be
+// modified. Leaf grouping gives callers a spatially coherent O(n/LeafSize)
+// partition — the A* center finder's optimistic heuristic aggregates mass
+// over exactly these groups.
+func (t *Tree) Leaves() [][]int {
+	var out [][]int
+	for ni := range t.nodes {
+		nb := &t.nodes[ni]
+		if nb.left < 0 {
+			out = append(out, t.perm[nb.lo:nb.hi])
+		}
+	}
+	return out
+}
+
+// neighbour is one candidate in a k-nearest-neighbour search.
+type neighbour struct {
+	idx   int
+	dist2 float64
+}
+
+// KNearest returns the indices of the k nearest points to (x, y, z)
+// together with their squared distances, ordered nearest first. The query
+// point itself is included when present in the tree. If the tree holds
+// fewer than k points, all are returned.
+func (t *Tree) KNearest(x, y, z float64, k int) (idx []int, dist2 []float64) {
+	if k <= 0 || len(t.nodes) == 0 {
+		return nil, nil
+	}
+	h := &nbrHeap{}
+	t.kNearest(0, x, y, z, k, h)
+	// Heap is a max-heap on distance; unload and reverse.
+	out := make([]neighbour, len(*h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.pop()
+	}
+	idx = make([]int, len(out))
+	dist2 = make([]float64, len(out))
+	for i, nb := range out {
+		idx[i] = nb.idx
+		dist2[i] = nb.dist2
+	}
+	return idx, dist2
+}
+
+func (t *Tree) kNearest(ni int, x, y, z float64, k int, h *nbrHeap) {
+	nb := &t.nodes[ni]
+	if len(*h) == k && t.boxDist2(nb, x, y, z) > (*h)[0].dist2 {
+		return
+	}
+	if nb.left < 0 {
+		for _, j := range t.perm[nb.lo:nb.hi] {
+			d2 := t.Dist2(j, x, y, z)
+			if len(*h) < k {
+				h.push(neighbour{j, d2})
+			} else if d2 < (*h)[0].dist2 {
+				h.pop()
+				h.push(neighbour{j, d2})
+			}
+		}
+		return
+	}
+	// Visit the nearer child first for better pruning.
+	l, r := nb.left, nb.right
+	dl := t.boxDist2(&t.nodes[l], x, y, z)
+	dr := t.boxDist2(&t.nodes[r], x, y, z)
+	if dr < dl {
+		l, r = r, l
+	}
+	t.kNearest(l, x, y, z, k, h)
+	t.kNearest(r, x, y, z, k, h)
+}
+
+// nbrHeap is a max-heap of neighbours keyed on dist2.
+type nbrHeap []neighbour
+
+func (h *nbrHeap) push(n neighbour) {
+	*h = append(*h, n)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist2 >= (*h)[i].dist2 {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *nbrHeap) pop() neighbour {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && (*h)[l].dist2 > (*h)[big].dist2 {
+			big = l
+		}
+		if r < last && (*h)[r].dist2 > (*h)[big].dist2 {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+		i = big
+	}
+	return top
+}

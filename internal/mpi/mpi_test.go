@@ -1,0 +1,304 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("expected error for size 0")
+	}
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 3 {
+		t.Errorf("size = %d", w.Size())
+	}
+}
+
+func TestRunRanksPropagatesError(t *testing.T) {
+	sentinel := errors.New("rank failure")
+	err := RunRanks(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRanksRejectsZeroRanks(t *testing.T) {
+	if err := RunRanks(0, func(*Comm) error { return nil }); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSendRecvPointToPoint(t *testing.T) {
+	err := RunRanks(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, "hello")
+			reply := c.Recv(1, 2).(string)
+			if reply != "world" {
+				return fmt.Errorf("reply = %q", reply)
+			}
+		} else {
+			msg := c.Recv(0, 1).(string)
+			if msg != "hello" {
+				return fmt.Errorf("msg = %q", msg)
+			}
+			c.Send(0, 2, "world")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Recv must hold aside messages with other tags so out-of-order tagged
+// receives do not mismatch.
+func TestRecvTagFiltering(t *testing.T) {
+	err := RunRanks(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 10, "first")
+			c.Send(1, 20, "second")
+			return nil
+		}
+		// Receive in the opposite order of sending.
+		second := c.Recv(0, 20).(string)
+		first := c.Recv(0, 10).(string)
+		if first != "first" || second != "second" {
+			return fmt.Errorf("got %q %q", first, second)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var before, after int32
+	err := RunRanks(8, func(c *Comm) error {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&before) != 8 {
+			return fmt.Errorf("rank %d passed barrier with before=%d", c.Rank(), before)
+		}
+		atomic.AddInt32(&after, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 8 {
+		t.Errorf("after = %d", after)
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	err := RunRanks(4, func(c *Comm) error {
+		for i := 0; i < 100; i++ {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherOrderedByRank(t *testing.T) {
+	err := RunRanks(5, func(c *Comm) error {
+		all := c.AllGather(c.Rank() * 10)
+		for r, v := range all {
+			if v.(int) != r*10 {
+				return fmt.Errorf("rank %d: all[%d] = %v", c.Rank(), r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherRepeatedRounds(t *testing.T) {
+	err := RunRanks(3, func(c *Comm) error {
+		for round := 0; round < 50; round++ {
+			all := c.AllGather(c.Rank() + round*100)
+			for r, v := range all {
+				if v.(int) != r+round*100 {
+					return fmt.Errorf("round %d rank %d: all[%d] = %v", round, c.Rank(), r, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceOps(t *testing.T) {
+	err := RunRanks(6, func(c *Comm) error {
+		v := float64(c.Rank() + 1)
+		if s := c.AllReduceSum(v); math.Abs(s-21) > 1e-12 {
+			return fmt.Errorf("sum = %v", s)
+		}
+		if m := c.AllReduceMax(v); m != 6 {
+			return fmt.Errorf("max = %v", m)
+		}
+		if m := c.AllReduceMin(v); m != 1 {
+			return fmt.Errorf("min = %v", m)
+		}
+		if n := c.AllReduceSumInt(2); n != 12 {
+			return fmt.Errorf("sumint = %v", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllExchangesEverything(t *testing.T) {
+	err := RunRanks(4, func(c *Comm) error {
+		out := make([]any, 4)
+		for d := range out {
+			out[d] = fmt.Sprintf("%d->%d", c.Rank(), d)
+		}
+		in := c.AllToAll(out)
+		for s := range in {
+			want := fmt.Sprintf("%d->%d", s, c.Rank())
+			if in[s].(string) != want {
+				return fmt.Errorf("in[%d] = %v, want %v", s, in[s], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllRepeated(t *testing.T) {
+	err := RunRanks(3, func(c *Comm) error {
+		for round := 0; round < 20; round++ {
+			out := make([]any, 3)
+			for d := range out {
+				out[d] = c.Rank()*100 + d + round*1000
+			}
+			in := c.AllToAll(out)
+			for s := range in {
+				want := s*100 + c.Rank() + round*1000
+				if in[s].(int) != want {
+					return fmt.Errorf("round %d: in[%d] = %v, want %d", round, s, in[s], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := RunRanks(4, func(c *Comm) error {
+		val := "unset"
+		if c.Rank() == 2 {
+			val = "payload"
+		}
+		got := c.Bcast(2, val).(string)
+		if got != "payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	err := RunRanks(1, func(c *Comm) error {
+		c.Barrier()
+		if s := c.AllReduceSum(3); s != 3 {
+			return fmt.Errorf("sum = %v", s)
+		}
+		in := c.AllToAll([]any{42})
+		if in[0].(int) != 42 {
+			return fmt.Errorf("alltoall = %v", in[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherToRoot(t *testing.T) {
+	err := RunRanks(4, func(c *Comm) error {
+		got := c.Gather(2, c.Rank()*11)
+		if c.Rank() != 2 {
+			if got != nil {
+				return fmt.Errorf("rank %d received a gather result", c.Rank())
+			}
+			return nil
+		}
+		for r, v := range got {
+			if v.(int) != r*11 {
+				return fmt.Errorf("gather[%d] = %v", r, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterFromRoot(t *testing.T) {
+	err := RunRanks(4, func(c *Comm) error {
+		var vals []any
+		if c.Rank() == 1 {
+			vals = []any{"a", "b", "c", "d"}
+		}
+		got := c.Scatter(1, vals).(string)
+		want := string(rune('a' + c.Rank()))
+		if got != want {
+			return fmt.Errorf("rank %d got %q, want %q", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterRepeated(t *testing.T) {
+	err := RunRanks(3, func(c *Comm) error {
+		for round := 0; round < 20; round++ {
+			var vals []any
+			if c.Rank() == 0 {
+				vals = []any{round * 100, round*100 + 1, round*100 + 2}
+			}
+			got := c.Scatter(0, vals).(int)
+			if got != round*100+c.Rank() {
+				return fmt.Errorf("round %d rank %d got %d", round, c.Rank(), got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

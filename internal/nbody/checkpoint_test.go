@@ -1,0 +1,126 @@
+package nbody
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cosmo"
+)
+
+func randomSim(t *testing.T, seed int64) *Simulation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := NewParticles(0)
+	for i := 0; i < 200; i++ {
+		p.Append(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20,
+			rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), int64(i*3))
+	}
+	s, err := NewSimulation(cosmo.Default(), 20, 16, p, 0.37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckpointRoundTripExact(t *testing.T) {
+	s := randomSim(t, 1)
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != s.A || got.Box != s.Box || got.NG != s.NG {
+		t.Errorf("header mismatch: %v/%v/%v", got.A, got.Box, got.NG)
+	}
+	if got.Cosmo != s.Cosmo {
+		t.Errorf("cosmology mismatch: %+v", got.Cosmo)
+	}
+	if got.P.N() != s.P.N() {
+		t.Fatalf("N = %d", got.P.N())
+	}
+	for i := 0; i < s.P.N(); i++ {
+		if got.P.X[i] != s.P.X[i] || got.P.VZ[i] != s.P.VZ[i] || got.P.Tag[i] != s.P.Tag[i] {
+			t.Fatalf("particle %d not bit-identical", i)
+		}
+	}
+}
+
+// A restarted simulation must evolve identically to the original.
+func TestCheckpointRestartIsDeterministic(t *testing.T) {
+	s := randomSim(t, 2)
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		if err := s.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Step(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < s.P.N(); i++ {
+		if s.P.X[i] != restored.P.X[i] || s.P.VX[i] != restored.P.VX[i] {
+			t.Fatalf("restart diverged at particle %d", i)
+		}
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	s := randomSim(t, 3)
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-10] ^= 0x01
+	if _, err := LoadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Error("expected checksum error")
+	}
+}
+
+func TestCheckpointRejectsBadMagic(t *testing.T) {
+	if _, err := LoadCheckpoint(bytes.NewReader([]byte("NOTACKPT1234"))); err == nil {
+		t.Error("expected magic error")
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	s := randomSim(t, 4)
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := LoadCheckpoint(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	s := randomSim(t, 5)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := s.SaveCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P.N() != s.P.N() || got.A != s.A {
+		t.Errorf("file round trip mismatch")
+	}
+	if _, err := LoadCheckpointFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected missing-file error")
+	}
+}

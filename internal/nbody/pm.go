@@ -1,0 +1,220 @@
+package nbody
+
+import (
+	"fmt"
+
+	"repro/internal/cosmo"
+	"repro/internal/fft"
+	"repro/internal/grid"
+)
+
+// Simulation is a particle-mesh N-body run in a periodic comoving box.
+//
+// Code units: lengths in Mpc/h, H0 = 1, and velocities are the canonical
+// momenta p = a² dx/dt. With those choices the equations of motion are
+//
+//	dx/da = p / (a³ E(a))
+//	dp/da = -∇φ / (a E(a))
+//	∇²φ   = (3/2) Ωm δ / a
+//
+// which the KDK (kick-drift-kick) leapfrog integrates in equal steps of the
+// scale factor a, the same time variable HACC production runs report
+// snapshots in (the paper labels outputs by redshift).
+type Simulation struct {
+	Cosmo cosmo.Params
+	// Box is the comoving box side in Mpc/h.
+	Box float64
+	// NG is the PM grid dimension (cells per side); must be a power of two
+	// for the FFT.
+	NG int
+	// P holds the particles.
+	P *Particles
+	// A is the current scale factor.
+	A float64
+
+	// scratch
+	rho          *grid.Scalar
+	phi          *grid.Scalar
+	gx, gy, gz   *grid.Scalar
+	cube         *fft.Cube
+	forcesACache float64
+	forcesValid  bool
+}
+
+// NewSimulation prepares a simulation over the given particles starting at
+// scale factor a0.
+func NewSimulation(p cosmo.Params, box float64, ng int, particles *Particles, a0 float64) (*Simulation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if box <= 0 {
+		return nil, fmt.Errorf("nbody: box size %g must be positive", box)
+	}
+	if !fft.IsPow2(ng) {
+		return nil, fmt.Errorf("nbody: grid dimension %d must be a power of two", ng)
+	}
+	// Allow a hair past a=1: accumulated floating-point drift of a full
+	// run's steps can land at 1+ulp, and restarts from such a state are
+	// legitimate.
+	if a0 <= 0 || a0 > 1.001 {
+		return nil, fmt.Errorf("nbody: initial scale factor %g out of (0, 1]", a0)
+	}
+	if err := particles.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulation{Cosmo: p, Box: box, NG: ng, P: particles, A: a0}
+	var err error
+	for _, g := range []**grid.Scalar{&s.rho, &s.phi, &s.gx, &s.gy, &s.gz} {
+		if *g, err = grid.NewScalar(ng, box); err != nil {
+			return nil, err
+		}
+	}
+	if s.cube, err = fft.NewCube(ng); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Redshift returns the current redshift.
+func (s *Simulation) Redshift() float64 { return cosmo.Redshift(s.A) }
+
+// computeForces lays the particles onto the grid with CIC, solves the
+// Poisson equation in k-space, differentiates the potential, and leaves the
+// acceleration components on gx/gy/gz ready for CIC interpolation back to
+// the particles. This is the HACC long-range (PM) force path.
+func (s *Simulation) computeForces() error {
+	if s.forcesValid && s.forcesACache == s.A {
+		return nil
+	}
+	// Density contrast.
+	s.rho.Fill(0)
+	for i := 0; i < s.P.N(); i++ {
+		s.rho.DepositCIC(s.P.X[i], s.P.Y[i], s.P.Z[i], 1)
+	}
+	if err := s.rho.ToDensityContrast(); err != nil {
+		return err
+	}
+	// Poisson solve: phi(k) = -(3/2 Ωm/a) delta(k) / k².
+	for i, v := range s.rho.Data {
+		s.cube.Data[i] = complex(v, 0)
+	}
+	if err := s.cube.Forward3D(); err != nil {
+		return err
+	}
+	prefactor := 1.5 * s.Cosmo.OmegaM / s.A
+	s.cube.SolvePoisson(s.Box, prefactor)
+	if err := s.cube.Inverse3D(); err != nil {
+		return err
+	}
+	for i := range s.phi.Data {
+		s.phi.Data[i] = real(s.cube.Data[i])
+	}
+	// Acceleration = -grad phi.
+	if err := s.phi.Gradient(0, s.gx); err != nil {
+		return err
+	}
+	if err := s.phi.Gradient(1, s.gy); err != nil {
+		return err
+	}
+	if err := s.phi.Gradient(2, s.gz); err != nil {
+		return err
+	}
+	for i := range s.gx.Data {
+		s.gx.Data[i] = -s.gx.Data[i]
+		s.gy.Data[i] = -s.gy.Data[i]
+		s.gz.Data[i] = -s.gz.Data[i]
+	}
+	s.forcesValid = true
+	s.forcesACache = s.A
+	return nil
+}
+
+// AccelAt interpolates the current acceleration field to a position. The
+// force field must be current (Step keeps it so); callers outside Step
+// should not rely on it.
+func (s *Simulation) AccelAt(x, y, z float64) (ax, ay, az float64) {
+	return s.gx.InterpolateCIC(x, y, z), s.gy.InterpolateCIC(x, y, z), s.gz.InterpolateCIC(x, y, z)
+}
+
+// Step advances the simulation by da with one KDK leapfrog step.
+func (s *Simulation) Step(da float64) error {
+	if da <= 0 {
+		return fmt.Errorf("nbody: step da=%g must be positive", da)
+	}
+	if err := s.computeForces(); err != nil {
+		return err
+	}
+	half := da / 2
+	// Kick (half step) at current a.
+	kick := half / (s.A * s.Cosmo.E(s.A))
+	p := s.P
+	for i := 0; i < p.N(); i++ {
+		ax, ay, az := s.AccelAt(p.X[i], p.Y[i], p.Z[i])
+		p.VX[i] += ax * kick
+		p.VY[i] += ay * kick
+		p.VZ[i] += az * kick
+	}
+	// Drift (full step) at midpoint a.
+	am := s.A + half
+	drift := da / (am * am * am * s.Cosmo.E(am))
+	for i := 0; i < p.N(); i++ {
+		p.X[i] = wrapPos(p.X[i]+p.VX[i]*drift, s.Box)
+		p.Y[i] = wrapPos(p.Y[i]+p.VY[i]*drift, s.Box)
+		p.Z[i] = wrapPos(p.Z[i]+p.VZ[i]*drift, s.Box)
+	}
+	// Kick (half step) at new a with fresh forces.
+	s.A += da
+	s.forcesValid = false
+	if err := s.computeForces(); err != nil {
+		return err
+	}
+	kick = half / (s.A * s.Cosmo.E(s.A))
+	for i := 0; i < p.N(); i++ {
+		ax, ay, az := s.AccelAt(p.X[i], p.Y[i], p.Z[i])
+		p.VX[i] += ax * kick
+		p.VY[i] += ay * kick
+		p.VZ[i] += az * kick
+	}
+	return nil
+}
+
+// Run advances from the current scale factor to aEnd in nSteps equal steps,
+// invoking cb (if non-nil) after every step with the 1-based step number.
+// cb is the hook CosmoTools attaches to: it is called inside the main
+// physics loop exactly as the paper's in-situ framework is (§3.1).
+func (s *Simulation) Run(aEnd float64, nSteps int, cb func(step int) error) error {
+	if nSteps <= 0 {
+		return fmt.Errorf("nbody: nSteps=%d must be positive", nSteps)
+	}
+	if aEnd <= s.A {
+		return fmt.Errorf("nbody: aEnd=%g must exceed current a=%g", aEnd, s.A)
+	}
+	da := (aEnd - s.A) / float64(nSteps)
+	for step := 1; step <= nSteps; step++ {
+		if err := s.Step(da); err != nil {
+			return err
+		}
+		if cb != nil {
+			if err := cb(step); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DensityContrast deposits the current particles and returns the density
+// contrast grid (a copy, safe to retain).
+func (s *Simulation) DensityContrast() (*grid.Scalar, error) {
+	g, err := grid.NewScalar(s.NG, s.Box)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.P.N(); i++ {
+		g.DepositCIC(s.P.X[i], s.P.Y[i], s.P.Z[i], 1)
+	}
+	if err := g.ToDensityContrast(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

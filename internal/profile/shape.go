@@ -1,0 +1,159 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape describes a halo's triaxial shape from its mass-distribution
+// inertia tensor: the sorted axis lengths a >= b >= c and the standard
+// axis ratios. Halo shapes are among the Level 3 properties the paper's
+// pipeline exists to produce ("properties of halos, including halo
+// centers, shapes, and subhalo populations", §3).
+type Shape struct {
+	// A, B, C are the principal semi-axis lengths (rms, descending).
+	A, B, C float64
+	// BA = b/a and CA = c/a are the conventional shape ratios
+	// (1,1 = sphere; CA << 1 = pancake; BA ≈ CA << 1 = filament).
+	BA, CA float64
+}
+
+// MeasureShape computes the shape of the member distribution about the
+// given center via the second-moment tensor's eigenvalues.
+func MeasureShape(x, y, z []float64, cx, cy, cz float64) (Shape, error) {
+	n := len(x)
+	if len(y) != n || len(z) != n {
+		return Shape{}, fmt.Errorf("profile: coordinate lengths differ")
+	}
+	if n < 4 {
+		return Shape{}, fmt.Errorf("profile: need >= 4 particles for a shape, got %d", n)
+	}
+	// Second-moment tensor M_ij = <d_i d_j>.
+	var m [3][3]float64
+	for i := 0; i < n; i++ {
+		d := [3]float64{x[i] - cx, y[i] - cy, z[i] - cz}
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				m[a][b] += d[a] * d[b]
+			}
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			m[a][b] /= float64(n)
+		}
+	}
+	ev, err := jacobiEigenvalues(m)
+	if err != nil {
+		return Shape{}, err
+	}
+	// Descending; eigenvalues are squared axis lengths.
+	if ev[0] < ev[1] {
+		ev[0], ev[1] = ev[1], ev[0]
+	}
+	if ev[1] < ev[2] {
+		ev[1], ev[2] = ev[2], ev[1]
+	}
+	if ev[0] < ev[1] {
+		ev[0], ev[1] = ev[1], ev[0]
+	}
+	for i, v := range ev {
+		if v < 0 {
+			if v > -1e-12 {
+				ev[i] = 0
+			} else {
+				return Shape{}, fmt.Errorf("profile: negative moment eigenvalue %g", v)
+			}
+		}
+	}
+	s := Shape{A: math.Sqrt(ev[0]), B: math.Sqrt(ev[1]), C: math.Sqrt(ev[2])}
+	if s.A == 0 {
+		return Shape{}, fmt.Errorf("profile: degenerate (point) distribution")
+	}
+	s.BA = s.B / s.A
+	s.CA = s.C / s.A
+	return s, nil
+}
+
+// jacobiEigenvalues diagonalizes a symmetric 3x3 matrix with cyclic Jacobi
+// rotations, returning the eigenvalues (unsorted).
+func jacobiEigenvalues(m [3][3]float64) ([3]float64, error) {
+	a := m
+	for sweep := 0; sweep < 64; sweep++ {
+		// Off-diagonal magnitude.
+		off := math.Abs(a[0][1]) + math.Abs(a[0][2]) + math.Abs(a[1][2])
+		if off < 1e-14*(math.Abs(a[0][0])+math.Abs(a[1][1])+math.Abs(a[2][2])+1e-300) {
+			return [3]float64{a[0][0], a[1][1], a[2][2]}, nil
+		}
+		for p := 0; p < 2; p++ {
+			for q := p + 1; q < 3; q++ {
+				if a[p][q] == 0 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation R(p,q) on both sides.
+				var r [3][3]float64
+				for i := 0; i < 3; i++ {
+					r[i][i] = 1
+				}
+				r[p][p], r[q][q] = c, c
+				r[p][q], r[q][p] = s, -s
+				a = matMul(matMul(transpose(r), a), r)
+			}
+		}
+	}
+	return [3]float64{a[0][0], a[1][1], a[2][2]}, nil
+}
+
+func matMul(a, b [3][3]float64) [3][3]float64 {
+	var out [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				out[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+	return out
+}
+
+func transpose(a [3][3]float64) [3][3]float64 {
+	var out [3][3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out[i][j] = a[j][i]
+		}
+	}
+	return out
+}
+
+// VelocityDispersion returns the 1-D velocity dispersion of the members:
+// sigma = sqrt(<|v - <v>|²> / 3).
+func VelocityDispersion(vx, vy, vz []float64) (float64, error) {
+	n := len(vx)
+	if len(vy) != n || len(vz) != n {
+		return 0, fmt.Errorf("profile: velocity lengths differ")
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("profile: need >= 2 particles for a dispersion")
+	}
+	var mx, my, mz float64
+	for i := 0; i < n; i++ {
+		mx += vx[i]
+		my += vy[i]
+		mz += vz[i]
+	}
+	fn := float64(n)
+	mx /= fn
+	my /= fn
+	mz /= fn
+	var s2 float64
+	for i := 0; i < n; i++ {
+		dx, dy, dz := vx[i]-mx, vy[i]-my, vz[i]-mz
+		s2 += dx*dx + dy*dy + dz*dz
+	}
+	return math.Sqrt(s2 / fn / 3), nil
+}

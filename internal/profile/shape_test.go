@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ellipsoid samples n points uniformly inside an axis-aligned ellipsoid
+// with semi-axes (a, b, c), optionally rotated 45° in the x-y plane.
+func ellipsoid(n int, a, b, c float64, rotate bool, seed int64) (x, y, z []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	z = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for {
+			u, v, w := 2*rng.Float64()-1, 2*rng.Float64()-1, 2*rng.Float64()-1
+			if u*u+v*v+w*w <= 1 {
+				px, py, pz := a*u, b*v, c*w
+				if rotate {
+					s := math.Sqrt2 / 2
+					px, py = s*px-s*py, s*px+s*py
+				}
+				x[i], y[i], z[i] = px, py, pz
+				break
+			}
+		}
+	}
+	return
+}
+
+func TestMeasureShapeValidation(t *testing.T) {
+	if _, err := MeasureShape([]float64{1}, []float64{1, 2}, []float64{1}, 0, 0, 0); err == nil {
+		t.Error("expected length error")
+	}
+	s3 := []float64{1, 2, 3}
+	if _, err := MeasureShape(s3, s3, s3, 0, 0, 0); err == nil {
+		t.Error("expected too-few error")
+	}
+	pt := []float64{1, 1, 1, 1}
+	if _, err := MeasureShape(pt, pt, pt, 1, 1, 1); err == nil {
+		t.Error("expected degenerate error")
+	}
+}
+
+func TestShapeOfSphere(t *testing.T) {
+	x, y, z := ellipsoid(20000, 2, 2, 2, false, 1)
+	s, err := MeasureShape(x, y, z, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BA < 0.97 || s.CA < 0.97 {
+		t.Errorf("sphere ratios = %v / %v, want ~1", s.BA, s.CA)
+	}
+	// rms of a uniform ball of radius R along one axis is R/sqrt(5).
+	want := 2.0 / math.Sqrt(5)
+	if math.Abs(s.A-want)/want > 0.05 {
+		t.Errorf("A = %v, want %v", s.A, want)
+	}
+}
+
+func TestShapeOfTriaxialEllipsoid(t *testing.T) {
+	// Axes 4 : 2 : 1.
+	x, y, z := ellipsoid(40000, 4, 2, 1, false, 2)
+	s, err := MeasureShape(x, y, z, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.BA-0.5) > 0.05 {
+		t.Errorf("b/a = %v, want 0.5", s.BA)
+	}
+	if math.Abs(s.CA-0.25) > 0.05 {
+		t.Errorf("c/a = %v, want 0.25", s.CA)
+	}
+}
+
+// The shape must be rotation invariant: a rotated ellipsoid gives the same
+// axis ratios.
+func TestShapeRotationInvariant(t *testing.T) {
+	x, y, z := ellipsoid(40000, 4, 2, 1, true, 3)
+	s, err := MeasureShape(x, y, z, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.BA-0.5) > 0.05 || math.Abs(s.CA-0.25) > 0.05 {
+		t.Errorf("rotated ratios = %v / %v, want 0.5 / 0.25", s.BA, s.CA)
+	}
+}
+
+func TestShapeOrdering(t *testing.T) {
+	x, y, z := ellipsoid(5000, 1, 3, 2, false, 4) // deliberately unsorted axes
+	s, err := MeasureShape(x, y, z, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.A >= s.B && s.B >= s.C) {
+		t.Errorf("axes not sorted: %v >= %v >= %v", s.A, s.B, s.C)
+	}
+	if s.BA > 1 || s.CA > 1 || s.CA > s.BA {
+		t.Errorf("ratios inconsistent: %v %v", s.BA, s.CA)
+	}
+}
+
+func TestVelocityDispersion(t *testing.T) {
+	if _, err := VelocityDispersion([]float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Error("expected too-few error")
+	}
+	if _, err := VelocityDispersion([]float64{1, 2}, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length error")
+	}
+	// Bulk motion must not contribute.
+	rng := rand.New(rand.NewSource(5))
+	n := 50000
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	vz := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vx[i] = 100 + rng.NormFloat64()*3
+		vy[i] = -50 + rng.NormFloat64()*3
+		vz[i] = 7 + rng.NormFloat64()*3
+	}
+	sigma, err := VelocityDispersion(vx, vy, vz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-3) > 0.1 {
+		t.Errorf("sigma = %v, want 3", sigma)
+	}
+}

@@ -1,0 +1,163 @@
+// Package render produces density-projection images of the particle
+// distribution — the reproduction of the paper's Figure 2 ("Visualization
+// of the Q Continuum simulation's particle distribution ... showing the
+// halos that have formed in this region at the final time step").
+//
+// The renderer projects the 3-D CIC density field along one axis,
+// log-scales the column density, and maps it through a dark-to-bright
+// colormap, which is the standard presentation for cosmic-web imagery.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"repro/internal/nbody"
+)
+
+// Options configures a projection render.
+type Options struct {
+	// Pixels is the image side length (the projection grid resolution).
+	Pixels int
+	// Axis selects the projection direction: 0=x, 1=y, 2=z.
+	Axis int
+	// SliceMin and SliceMax optionally bound the projected depth range in
+	// box units; Max <= Min means the full depth (zoomed sub-regions like
+	// Figure 2's single-node volume use a narrow slice).
+	SliceMin, SliceMax float64
+	// Gamma compresses the log-density ramp; <= 0 selects 1.
+	Gamma float64
+}
+
+func (o Options) validate() error {
+	if o.Pixels <= 0 {
+		return fmt.Errorf("render: pixels %d must be positive", o.Pixels)
+	}
+	if o.Axis < 0 || o.Axis > 2 {
+		return fmt.Errorf("render: axis %d out of range", o.Axis)
+	}
+	return nil
+}
+
+// Project deposits the particles onto a Pixels×Pixels grid, integrating
+// along the chosen axis over the slice range, and returns the column
+// density map (row-major, [row*Pixels + col]).
+func Project(p *nbody.Particles, box float64, o Options) ([]float64, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := o.SliceMin, o.SliceMax
+	if hi <= lo {
+		lo, hi = 0, box
+	}
+	out := make([]float64, o.Pixels*o.Pixels)
+	scale := float64(o.Pixels) / box
+	for i := 0; i < p.N(); i++ {
+		var depth, u, v float64
+		switch o.Axis {
+		case 0:
+			depth, u, v = p.X[i], p.Y[i], p.Z[i]
+		case 1:
+			depth, u, v = p.Y[i], p.X[i], p.Z[i]
+		default:
+			depth, u, v = p.Z[i], p.X[i], p.Y[i]
+		}
+		if depth < lo || depth >= hi {
+			continue
+		}
+		// Bilinear (2-D CIC) deposit for smooth imagery.
+		fu := u*scale - 0.5
+		fv := v*scale - 0.5
+		iu := int(math.Floor(fu))
+		iv := int(math.Floor(fv))
+		du := fu - float64(iu)
+		dv := fv - float64(iv)
+		for _, c := range [4]struct {
+			pu, pv int
+			w      float64
+		}{
+			{iu, iv, (1 - du) * (1 - dv)},
+			{iu + 1, iv, du * (1 - dv)},
+			{iu, iv + 1, (1 - du) * dv},
+			{iu + 1, iv + 1, du * dv},
+		} {
+			pu := wrapIdx(c.pu, o.Pixels)
+			pv := wrapIdx(c.pv, o.Pixels)
+			out[pv*o.Pixels+pu] += c.w
+		}
+	}
+	return out, nil
+}
+
+func wrapIdx(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// Image converts a column-density map into a log-scaled image with the
+// cosmic-web colormap.
+func Image(density []float64, pixels int, gamma float64) (*image.RGBA, error) {
+	if pixels*pixels != len(density) {
+		return nil, fmt.Errorf("render: %d values for %d pixels", len(density), pixels)
+	}
+	if gamma <= 0 {
+		gamma = 1
+	}
+	maxV := 0.0
+	for _, v := range density {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, pixels, pixels))
+	logMax := math.Log1p(maxV)
+	for row := 0; row < pixels; row++ {
+		for col := 0; col < pixels; col++ {
+			v := density[row*pixels+col]
+			t := 0.0
+			if logMax > 0 {
+				t = math.Pow(math.Log1p(v)/logMax, gamma)
+			}
+			img.Set(col, pixels-1-row, colormap(t))
+		}
+	}
+	return img, nil
+}
+
+// colormap maps t in [0,1] to a dark-blue -> violet -> orange -> white
+// ramp reminiscent of cosmological visualization palettes.
+func colormap(t float64) color.RGBA {
+	clamp := func(v float64) uint8 {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	r := clamp(340*t*t + 60*t)
+	g := clamp(280*t*t*t*t + 40*t*t)
+	b := clamp(90*math.Sqrt(t) + 180*t*t*t)
+	return color.RGBA{R: r, G: g, B: b, A: 255}
+}
+
+// WritePNG renders the particles and writes the image.
+func WritePNG(w io.Writer, p *nbody.Particles, box float64, o Options) error {
+	density, err := Project(p, box, o)
+	if err != nil {
+		return err
+	}
+	img, err := Image(density, o.Pixels, o.Gamma)
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}

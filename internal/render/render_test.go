@@ -1,0 +1,122 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nbody"
+)
+
+func testParticles(n int, box float64, seed int64) *nbody.Particles {
+	rng := rand.New(rand.NewSource(seed))
+	p := nbody.NewParticles(n)
+	for i := 0; i < n; i++ {
+		p.X[i] = rng.Float64() * box
+		p.Y[i] = rng.Float64() * box
+		p.Z[i] = rng.Float64() * box
+	}
+	return p
+}
+
+func TestOptionsValidation(t *testing.T) {
+	p := testParticles(10, 10, 1)
+	if _, err := Project(p, 10, Options{Pixels: 0}); err == nil {
+		t.Error("expected pixels error")
+	}
+	if _, err := Project(p, 10, Options{Pixels: 8, Axis: 3}); err == nil {
+		t.Error("expected axis error")
+	}
+}
+
+// Projection conserves particle count (mass).
+func TestProjectConservesMass(t *testing.T) {
+	p := testParticles(500, 10, 2)
+	for axis := 0; axis < 3; axis++ {
+		density, err := Project(p, 10, Options{Pixels: 16, Axis: axis})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, v := range density {
+			total += v
+		}
+		if math.Abs(total-500) > 1e-9 {
+			t.Errorf("axis %d: projected mass %v, want 500", axis, total)
+		}
+	}
+}
+
+// A slice range projects only the particles within it.
+func TestProjectSliceRange(t *testing.T) {
+	p := nbody.NewParticles(0)
+	p.Append(2, 5, 5, 0, 0, 0, 0) // depth (x) = 2: inside [0, 4)
+	p.Append(8, 5, 5, 0, 0, 0, 1) // depth 8: outside
+	density, err := Project(p, 10, Options{Pixels: 8, Axis: 0, SliceMin: 0, SliceMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range density {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("slice mass = %v, want 1", total)
+	}
+}
+
+// A clustered distribution produces a dynamic-range image: the clump pixel
+// must be much brighter than the median pixel.
+func TestImageDynamicRange(t *testing.T) {
+	box := 10.0
+	p := testParticles(200, box, 3)
+	// Dense clump.
+	for i := 0; i < 300; i++ {
+		p.Append(5, 5, 5, 0, 0, 0, int64(1000+i))
+	}
+	density, err := Project(p, box, Options{Pixels: 16, Axis: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Image(density, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clump's pixel (col 8, row inverted) should be near-white;
+	// corners near-dark.
+	bright := img.RGBAAt(8, 16-1-8)
+	dark := img.RGBAAt(0, 0)
+	if int(bright.R)+int(bright.G)+int(bright.B) < 2*(int(dark.R)+int(dark.G)+int(dark.B)) {
+		t.Errorf("no dynamic range: clump %v vs corner %v", bright, dark)
+	}
+}
+
+func TestImageValidation(t *testing.T) {
+	if _, err := Image(make([]float64, 10), 4, 1); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestWritePNGProducesValidImage(t *testing.T) {
+	p := testParticles(300, 10, 4)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, p, 10, Options{Pixels: 32, Axis: 2, Gamma: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("invalid PNG: %v", err)
+	}
+	if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 32 {
+		t.Errorf("bounds = %v", img.Bounds())
+	}
+}
+
+func TestEmptyFieldRenders(t *testing.T) {
+	density := make([]float64, 64)
+	if _, err := Image(density, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+}

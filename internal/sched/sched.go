@@ -1,0 +1,229 @@
+// Package sched models batch scheduling on the paper's machines: job
+// queues with node-count accounting, facility queue policies (Titan's
+// small-job limit), extra queue-wait models for full-machine allocations,
+// and the Bellerophon-derived listener that implements co-scheduling by
+// submitting analysis jobs as output files appear (§3.2).
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/fs"
+	"repro/internal/platform"
+)
+
+// Job is one batch submission. Duration is known up front because the
+// workflow engine computes phase times from the platform cost models; the
+// scheduler's contribution is *when* the job runs.
+type Job struct {
+	// Name for reports.
+	Name string
+	// Nodes requested.
+	Nodes int
+	// Duration of execution once started, in seconds.
+	Duration float64
+	// OnStart and OnComplete fire at the job's start and end (either may
+	// be nil). OnComplete commonly writes files or submits follow-ups.
+	OnStart    func(j *Job)
+	OnComplete func(j *Job)
+
+	// Filled by the scheduler.
+	SubmitTime, EligibleTime, StartTime, EndTime float64
+	Started, Completed                           bool
+}
+
+// QueueWait returns how long the job waited beyond its submission
+// (including modelled facility wait).
+func (j *Job) QueueWait() float64 { return j.StartTime - j.SubmitTime }
+
+// Cluster schedules jobs onto one machine.
+type Cluster struct {
+	// Sim is the shared virtual clock.
+	Sim *des.Sim
+	// Machine provides node counts and queue policy.
+	Machine platform.Machine
+	// ExtraQueueWait models facility queue delay beyond resource
+	// contention as a function of the job (e.g. "days to a week" for a
+	// full-size off-line allocation, §4.2). nil means none.
+	ExtraQueueWait func(j *Job) float64
+
+	freeNodes    int
+	pending      []*Job
+	runningSmall int
+	finished     []*Job
+	// MaxPendingSeen records the deepest queue observed — the paper's
+	// co-scheduling "pile-up in the analysis stack, where many analysis
+	// jobs are queued while others run" (§3.2).
+	MaxPendingSeen int
+}
+
+// NewCluster creates a cluster with all nodes free.
+func NewCluster(sim *des.Sim, m platform.Machine) (*Cluster, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{Sim: sim, Machine: m, freeNodes: m.Nodes}, nil
+}
+
+// FreeNodes reports currently idle nodes.
+func (c *Cluster) FreeNodes() int { return c.freeNodes }
+
+// Finished returns the completed jobs in completion order.
+func (c *Cluster) Finished() []*Job { return c.finished }
+
+// Pending reports queued-but-unstarted jobs.
+func (c *Cluster) Pending() int { return len(c.pending) }
+
+// Submit queues a job. The job becomes eligible after the modelled extra
+// queue wait, then starts when nodes are free and policy admits it.
+func (c *Cluster) Submit(j *Job) error {
+	if j.Nodes <= 0 || j.Nodes > c.Machine.Nodes {
+		return fmt.Errorf("sched: job %q requests %d nodes on %d-node %s", j.Name, j.Nodes, c.Machine.Nodes, c.Machine.Name)
+	}
+	if j.Duration < 0 {
+		return fmt.Errorf("sched: job %q has negative duration", j.Name)
+	}
+	j.SubmitTime = c.Sim.Now()
+	wait := 0.0
+	if c.ExtraQueueWait != nil {
+		wait = c.ExtraQueueWait(j)
+	}
+	j.EligibleTime = j.SubmitTime + wait
+	c.pending = append(c.pending, j)
+	if len(c.pending) > c.MaxPendingSeen {
+		c.MaxPendingSeen = len(c.pending)
+	}
+	c.Sim.At(j.EligibleTime, c.trySchedule)
+	return nil
+}
+
+// isSmall reports whether the job falls under the facility's small-job
+// policy.
+func (c *Cluster) isSmall(j *Job) bool {
+	return c.Machine.SmallJobLimit > 0 && j.Nodes < c.Machine.SmallJobNodes
+}
+
+// trySchedule starts every eligible job that fits, scanning the queue in
+// submission order (FIFO with skip — a small job blocked by policy does
+// not block a later large job).
+func (c *Cluster) trySchedule() {
+	now := c.Sim.Now()
+	remaining := c.pending[:0]
+	for _, j := range c.pending {
+		if j.EligibleTime > now || j.Nodes > c.freeNodes || (c.isSmall(j) && c.runningSmall >= c.Machine.SmallJobLimit) {
+			remaining = append(remaining, j)
+			continue
+		}
+		c.start(j)
+	}
+	c.pending = remaining
+}
+
+func (c *Cluster) start(j *Job) {
+	j.Started = true
+	j.StartTime = c.Sim.Now()
+	c.freeNodes -= j.Nodes
+	if c.isSmall(j) {
+		c.runningSmall++
+	}
+	if j.OnStart != nil {
+		j.OnStart(j)
+	}
+	c.Sim.After(j.Duration, func() {
+		j.Completed = true
+		j.EndTime = c.Sim.Now()
+		c.freeNodes += j.Nodes
+		if c.isSmall(j) {
+			c.runningSmall--
+		}
+		c.finished = append(c.finished, j)
+		if j.OnComplete != nil {
+			j.OnComplete(j)
+		}
+		c.trySchedule()
+	})
+}
+
+// Listener is the co-scheduling daemon: it polls a storage tier for new
+// output files and submits an analysis job per file, templated by
+// MakeJob. "While the listener and the main job run asynchronously, the
+// rate at which the listener checks for new output files should be chosen
+// to be much higher than the rate at which the main code generates new
+// output files" (§3.2).
+type Listener struct {
+	// Sim is the virtual clock; FS the watched tier; Cluster the analysis
+	// cluster jobs are submitted to.
+	Sim     *des.Sim
+	FS      *fs.System
+	Cluster *Cluster
+	// Prefix selects the watched files.
+	Prefix string
+	// PollInterval is the check cadence in seconds.
+	PollInterval float64
+	// MakeJob templates an analysis job for a newly seen file ("the
+	// listener generates a new batch script and input parameters, based on
+	// the timestep of the data and template files"). Returning nil skips
+	// the file.
+	MakeJob func(path string, f *fs.File) *Job
+
+	seen      map[string]bool
+	stopped   bool
+	Submitted int
+	Polls     int
+}
+
+// Start begins polling. The listener runs until Stop (the backgrounded
+// listener "allows the job to end when the main application has
+// completed").
+func (l *Listener) Start() error {
+	if l.PollInterval <= 0 {
+		return fmt.Errorf("sched: listener poll interval %g must be positive", l.PollInterval)
+	}
+	if l.MakeJob == nil {
+		return fmt.Errorf("sched: listener needs a MakeJob template")
+	}
+	l.seen = map[string]bool{}
+	l.Sim.After(l.PollInterval, l.poll)
+	return nil
+}
+
+// Stop halts polling after the current tick.
+func (l *Listener) Stop() { l.stopped = true }
+
+// FinalSweep performs one last check, catching files that landed "at the
+// very end of the main application's execution time" (§3.2) — the paper's
+// additional post-job listener instance.
+func (l *Listener) FinalSweep() { l.sweep() }
+
+func (l *Listener) poll() {
+	if l.stopped {
+		return
+	}
+	l.Polls++
+	l.sweep()
+	l.Sim.After(l.PollInterval, l.poll)
+}
+
+func (l *Listener) sweep() {
+	if l.seen == nil {
+		l.seen = map[string]bool{}
+	}
+	for _, path := range l.FS.List(l.Prefix) {
+		if l.seen[path] {
+			continue
+		}
+		l.seen[path] = true
+		f, err := l.FS.Stat(path)
+		if err != nil {
+			continue
+		}
+		job := l.MakeJob(path, f)
+		if job == nil {
+			continue
+		}
+		if err := l.Cluster.Submit(job); err == nil {
+			l.Submitted++
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package so measures spherical overdensity (SO) halo masses.
+//
+// The paper lists "halo mass estimation based on a spherical overdensity
+// definition" among the analysis tasks, notes it "lends itself well to
+// efficient parallel implementation", and that it "relies on information
+// obtained by the center finder" (§4.1) — SO spheres are "seeded at FOF
+// halo centers" (§3.3.2). The estimator grows a sphere around the given
+// center until the mean enclosed density falls to Δ times the reference
+// density, and reports the enclosed mass M_Δ and radius R_Δ.
+package so
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kdtree"
+)
+
+// Result is one SO measurement.
+type Result struct {
+	// Mass is the enclosed mass M_Δ.
+	Mass float64
+	// Radius is R_Δ.
+	Radius float64
+	// N is the number of particles enclosed.
+	N int
+}
+
+// Options configures the SO measurement.
+type Options struct {
+	// ParticleMass is the equal particle mass (> 0).
+	ParticleMass float64
+	// Delta is the overdensity threshold (conventionally 200).
+	Delta float64
+	// RhoRef is the reference density (mean matter or critical) in the
+	// same units as ParticleMass per volume.
+	RhoRef float64
+	// MaxRadius bounds the search; also protects against unbound growth
+	// when the center sits in a diffuse region.
+	MaxRadius float64
+	// MinParticles is the fewest enclosed particles for a valid
+	// measurement; below this the result is an error. <= 0 selects 20.
+	MinParticles int
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.ParticleMass <= 0:
+		return fmt.Errorf("so: particle mass %g must be positive", o.ParticleMass)
+	case o.Delta <= 0:
+		return fmt.Errorf("so: delta %g must be positive", o.Delta)
+	case o.RhoRef <= 0:
+		return fmt.Errorf("so: rhoRef %g must be positive", o.RhoRef)
+	case o.MaxRadius <= 0:
+		return fmt.Errorf("so: maxRadius %g must be positive", o.MaxRadius)
+	}
+	return nil
+}
+
+// Measure computes the SO mass around (cx, cy, cz) using the prebuilt
+// spatial tree over all candidate particles (usually the whole rank-local
+// snapshot, periodic). It returns an error when fewer than MinParticles
+// fall inside the threshold radius.
+func Measure(tree *kdtree.Tree, cx, cy, cz float64, o Options) (Result, error) {
+	if err := o.validate(); err != nil {
+		return Result{}, err
+	}
+	minP := o.MinParticles
+	if minP <= 0 {
+		minP = 20
+	}
+	// Collect all members within MaxRadius once, then scan the sorted
+	// radii for the outermost crossing of the density threshold.
+	var d2s []float64
+	tree.VisitWithin(cx, cy, cz, o.MaxRadius, func(j int) bool {
+		d2s = append(d2s, tree.Dist2(j, cx, cy, cz))
+		return true
+	})
+	if len(d2s) < minP {
+		return Result{}, fmt.Errorf("so: only %d particles within max radius %g (need %d)", len(d2s), o.MaxRadius, minP)
+	}
+	sort.Float64s(d2s)
+	threshold := o.Delta * o.RhoRef
+	best := -1
+	for k, d2 := range d2s {
+		r := math.Sqrt(d2)
+		if r == 0 {
+			continue
+		}
+		vol := 4.0 / 3.0 * math.Pi * r * r * r
+		rho := o.ParticleMass * float64(k+1) / vol
+		if rho >= threshold {
+			best = k
+		}
+	}
+	if best < 0 || best+1 < minP {
+		return Result{}, fmt.Errorf("so: no valid overdensity crossing with >= %d particles", minP)
+	}
+	return Result{
+		Mass:   o.ParticleMass * float64(best+1),
+		Radius: math.Sqrt(d2s[best]),
+		N:      best + 1,
+	}, nil
+}

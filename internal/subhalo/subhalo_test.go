@@ -1,0 +1,188 @@
+package subhalo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// boundClump appends n particles in a virialized-ish clump: positions in a
+// ball of the given radius around (cx,cy,cz), velocities drawn cold
+// (well below escape velocity) around the bulk velocity.
+func boundClump(x, y, z, vx, vy, vz *[]float64, n int, cx, cy, cz, radius float64, bulkV [3]float64, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		r := radius * math.Cbrt(rng.Float64())
+		theta := math.Acos(2*rng.Float64() - 1)
+		phi := 2 * math.Pi * rng.Float64()
+		*x = append(*x, cx+r*math.Sin(theta)*math.Cos(phi))
+		*y = append(*y, cy+r*math.Sin(theta)*math.Sin(phi))
+		*z = append(*z, cz+r*math.Cos(theta))
+		// Cold: tiny random motion.
+		*vx = append(*vx, bulkV[0]+rng.NormFloat64()*0.01)
+		*vy = append(*vy, bulkV[1]+rng.NormFloat64()*0.01)
+		*vz = append(*vz, bulkV[2]+rng.NormFloat64()*0.01)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	x := []float64{0}
+	v := []float64{0}
+	if _, err := Find(x, x, x, v, v, v, Options{Mass: 0, K: 8, MinSize: 2}); err == nil {
+		t.Error("expected mass error")
+	}
+	if _, err := Find(x, x, x, v, v, v, Options{Mass: 1, K: 1, MinSize: 2}); err == nil {
+		t.Error("expected K error")
+	}
+	if _, err := Find(x, x, x, v, v, v, Options{Mass: 1, K: 8, MinSize: 0}); err == nil {
+		t.Error("expected MinSize error")
+	}
+	if _, err := Find(x, x, x, v, []float64{0, 1}, v, Options{Mass: 1, K: 8, MinSize: 2}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Find(nil, nil, nil, nil, nil, nil, Options{Mass: 1, K: 8, MinSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subhalos) != 0 {
+		t.Errorf("subhalos = %d", len(res.Subhalos))
+	}
+}
+
+// A single bound clump should come back as one subhalo containing nearly
+// all particles.
+func TestSingleBoundClump(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y, z, vx, vy, vz []float64
+	boundClump(&x, &y, &z, &vx, &vy, &vz, 300, 0, 0, 0, 1, [3]float64{0, 0, 0}, rng)
+	res, err := Find(x, y, z, vx, vy, vz, Options{Mass: 1, K: 16, MinSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subhalos) < 1 {
+		t.Fatal("no subhalos found")
+	}
+	if res.Subhalos[0].Count() < 250 {
+		t.Errorf("main subhalo has %d of 300", res.Subhalos[0].Count())
+	}
+	if len(res.Density) != 300 {
+		t.Errorf("density count = %d", len(res.Density))
+	}
+}
+
+// Two well-separated bound clumps inside one "halo" must both be resolved:
+// a main subhalo and a satellite.
+func TestResolvesTwoClumps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x, y, z, vx, vy, vz []float64
+	boundClump(&x, &y, &z, &vx, &vy, &vz, 400, 0, 0, 0, 1.0, [3]float64{0, 0, 0}, rng)
+	boundClump(&x, &y, &z, &vx, &vy, &vz, 120, 6, 0, 0, 0.4, [3]float64{0, 0, 0}, rng)
+	res, err := Find(x, y, z, vx, vy, vz, Options{Mass: 1, K: 16, MinSize: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subhalos) < 2 {
+		t.Fatalf("found %d subhalos, want >= 2 (candidates: %d)", len(res.Subhalos), res.Candidates)
+	}
+	// The satellite subhalo's members should overwhelmingly be clump-2
+	// particles (indices >= 400).
+	var satellite *Subhalo
+	for i := range res.Subhalos {
+		inClump2 := 0
+		for _, m := range res.Subhalos[i].Indices {
+			if m >= 400 {
+				inClump2++
+			}
+		}
+		if inClump2 > res.Subhalos[i].Count()/2 {
+			satellite = &res.Subhalos[i]
+			break
+		}
+	}
+	if satellite == nil {
+		t.Fatal("no subhalo dominated by the satellite clump")
+	}
+	if satellite.Count() < 60 {
+		t.Errorf("satellite kept only %d of 120", satellite.Count())
+	}
+}
+
+// Particles with enormous velocities are unbound and must be removed.
+func TestUnbindingRemovesFastParticles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x, y, z, vx, vy, vz []float64
+	boundClump(&x, &y, &z, &vx, &vy, &vz, 200, 0, 0, 0, 1, [3]float64{0, 0, 0}, rng)
+	// 20 interlopers at the same location with huge speeds.
+	for i := 0; i < 20; i++ {
+		x = append(x, rng.NormFloat64()*0.5)
+		y = append(y, rng.NormFloat64()*0.5)
+		z = append(z, rng.NormFloat64()*0.5)
+		vx = append(vx, 1000+rng.NormFloat64())
+		vy = append(vy, 1000)
+		vz = append(vz, 0)
+	}
+	res, err := Find(x, y, z, vx, vy, vz, Options{Mass: 1, K: 16, MinSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Subhalos) == 0 {
+		t.Fatal("no subhalos")
+	}
+	main := res.Subhalos[0]
+	for _, m := range main.Indices {
+		if m >= 200 {
+			t.Errorf("unbound interloper %d retained", m)
+		}
+	}
+	if main.Removed == 0 {
+		t.Error("expected some unbinding removals")
+	}
+}
+
+// Multi-pass cap: no more than ceil(1/4 of positive-energy particles) may
+// go per pass, so fully unbinding k interlopers takes multiple passes but
+// still converges.
+func TestUnbindFractionRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var x, y, z, vx, vy, vz []float64
+	boundClump(&x, &y, &z, &vx, &vy, &vz, 100, 0, 0, 0, 1, [3]float64{0, 0, 0}, rng)
+	members := make([]int, 100)
+	for i := range members {
+		members[i] = i
+	}
+	o := Options{Mass: 1, K: 16, MinSize: 10}
+	if err := o.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	kept, removed := unbind(x, y, z, vx, vy, vz, members, o)
+	if removed != 0 {
+		t.Errorf("cold clump lost %d members", removed)
+	}
+	if len(kept) != 100 {
+		t.Errorf("kept %d", len(kept))
+	}
+}
+
+// Density ordering: the densest particle must sit deep inside the largest
+// clump, not on the outskirts.
+func TestDensityPeakLocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x, y, z, vx, vy, vz []float64
+	boundClump(&x, &y, &z, &vx, &vy, &vz, 500, 0, 0, 0, 2, [3]float64{0, 0, 0}, rng)
+	res, err := Find(x, y, z, vx, vy, vz, Options{Mass: 1, K: 16, MinSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestRho := -1, 0.0
+	for i, r := range res.Density {
+		if r > bestRho {
+			best, bestRho = i, r
+		}
+	}
+	r := math.Sqrt(x[best]*x[best] + y[best]*y[best] + z[best]*z[best])
+	if r > 1.5 {
+		t.Errorf("densest particle at radius %v of a 2-radius clump", r)
+	}
+}

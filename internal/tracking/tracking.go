@@ -1,0 +1,180 @@
+// Package tracking matches halos between successive simulation snapshots
+// by shared particle tags, building the time-evolution links the paper's
+// introduction frames as a core analysis goal: "Once the first bound
+// objects (halos) form, analysis tasks are carried out to not only capture
+// these structures within one time snapshot but also to track their
+// evolution to the end of the simulation. Over time, halos merge and
+// accrete mass" (§3).
+//
+// Matching uses the standard maximum-shared-membership criterion: halo B
+// at the later step is the descendant of halo A at the earlier step if B
+// contains more of A's particles than any other later halo does. Several
+// progenitors mapping to one descendant is a merger; the progenitor
+// contributing the most particles is the main progenitor.
+package tracking
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/halo"
+	"repro/internal/nbody"
+)
+
+// Link connects a progenitor halo to its descendant.
+type Link struct {
+	// ProgenitorTag and DescendantTag are the halo tags (min member tag).
+	ProgenitorTag, DescendantTag int64
+	// Shared counts particles in both.
+	Shared int
+	// ProgenitorCount and DescendantCount are the halo sizes.
+	ProgenitorCount, DescendantCount int
+	// MainProgenitor marks the largest contributor to the descendant.
+	MainProgenitor bool
+}
+
+// Matches is the result of matching one snapshot pair.
+type Matches struct {
+	// Links, ordered by descendant tag then descending shared count.
+	Links []Link
+	// Mergers maps descendant tags with >= 2 progenitors to the count.
+	Mergers map[int64]int
+	// Orphans lists progenitor tags with no descendant (halos whose
+	// particles dispersed below the match threshold).
+	Orphans []int64
+}
+
+// Options configures matching.
+type Options struct {
+	// MinShared is the minimum shared-particle count for a link (>= 1).
+	MinShared int
+	// MinSharedFraction additionally requires shared/progenitor size to
+	// reach this fraction (0 disables).
+	MinSharedFraction float64
+}
+
+func (o Options) validate() error {
+	if o.MinShared < 1 {
+		return fmt.Errorf("tracking: MinShared %d must be >= 1", o.MinShared)
+	}
+	if o.MinSharedFraction < 0 || o.MinSharedFraction > 1 {
+		return fmt.Errorf("tracking: MinSharedFraction %g out of [0, 1]", o.MinSharedFraction)
+	}
+	return nil
+}
+
+// Match links halos of the earlier catalog (over particle set pA) to
+// halos of the later catalog (over particle set pB) via shared tags.
+func Match(pA *nbody.Particles, catA *halo.Catalog, pB *nbody.Particles, catB *halo.Catalog, o Options) (*Matches, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	// Map: particle tag -> descendant halo index.
+	tagToB := make(map[int64]int)
+	for hi := range catB.Halos {
+		for _, i := range catB.Halos[hi].Indices {
+			tagToB[pB.Tag[i]] = hi
+		}
+	}
+	out := &Matches{Mergers: map[int64]int{}}
+	// sharedWith[descIdx] per progenitor.
+	type cand struct {
+		descIdx int
+		shared  int
+	}
+	bestSharedIntoDesc := map[int]int{} // descendant idx -> best shared so far
+	bestProgOfDesc := map[int]int{}     // descendant idx -> link index in out.Links
+	for ai := range catA.Halos {
+		prog := &catA.Halos[ai]
+		counts := map[int]int{}
+		for _, i := range prog.Indices {
+			if bi, ok := tagToB[pA.Tag[i]]; ok {
+				counts[bi]++
+			}
+		}
+		// Descendant = the later halo holding the most of this halo.
+		best := cand{-1, 0}
+		for bi, c := range counts {
+			if c > best.shared || (c == best.shared && best.descIdx >= 0 && catB.Halos[bi].Tag < catB.Halos[best.descIdx].Tag) {
+				best = cand{bi, c}
+			}
+		}
+		if best.descIdx < 0 || best.shared < o.MinShared ||
+			float64(best.shared) < o.MinSharedFraction*float64(prog.Count()) {
+			out.Orphans = append(out.Orphans, prog.Tag)
+			continue
+		}
+		desc := &catB.Halos[best.descIdx]
+		out.Links = append(out.Links, Link{
+			ProgenitorTag:   prog.Tag,
+			DescendantTag:   desc.Tag,
+			Shared:          best.shared,
+			ProgenitorCount: prog.Count(),
+			DescendantCount: desc.Count(),
+		})
+		out.Mergers[desc.Tag]++
+		li := len(out.Links) - 1
+		if best.shared > bestSharedIntoDesc[best.descIdx] {
+			if prev, ok := bestProgOfDesc[best.descIdx]; ok {
+				out.Links[prev].MainProgenitor = false
+			}
+			bestSharedIntoDesc[best.descIdx] = best.shared
+			bestProgOfDesc[best.descIdx] = li
+			out.Links[li].MainProgenitor = true
+		}
+	}
+	// Keep only true mergers (>= 2 progenitors).
+	for tag, n := range out.Mergers {
+		if n < 2 {
+			delete(out.Mergers, tag)
+		}
+	}
+	sort.Slice(out.Links, func(a, b int) bool {
+		if out.Links[a].DescendantTag != out.Links[b].DescendantTag {
+			return out.Links[a].DescendantTag < out.Links[b].DescendantTag
+		}
+		return out.Links[a].Shared > out.Links[b].Shared
+	})
+	sort.Slice(out.Orphans, func(a, b int) bool { return out.Orphans[a] < out.Orphans[b] })
+	return out, nil
+}
+
+// History is a halo's main-progenitor line across many snapshots.
+type History struct {
+	// Tags per step, earliest first (the halo's identity can change as
+	// min-tag members are accreted; the track follows main-progenitor
+	// links).
+	Tags []int64
+}
+
+// Track follows the main-progenitor line of the final catalog's halo with
+// the given tag backwards through the per-step match results (matches[i]
+// links step i to step i+1; len(matches) = len(steps)-1).
+func Track(finalTag int64, matches []*Matches) (*History, error) {
+	h := &History{}
+	tag := finalTag
+	// Walk backwards: find the main progenitor of tag at each earlier step.
+	var reversedTags []int64
+	reversedTags = append(reversedTags, tag)
+	for step := len(matches) - 1; step >= 0; step-- {
+		found := false
+		for _, l := range matches[step].Links {
+			if l.DescendantTag == tag && l.MainProgenitor {
+				tag = l.ProgenitorTag
+				reversedTags = append(reversedTags, tag)
+				found = true
+				break
+			}
+		}
+		if !found {
+			break // halo formed after this step
+		}
+	}
+	for i := len(reversedTags) - 1; i >= 0; i-- {
+		h.Tags = append(h.Tags, reversedTags[i])
+	}
+	if len(h.Tags) == 0 {
+		return nil, fmt.Errorf("tracking: no history for halo %d", finalTag)
+	}
+	return h, nil
+}

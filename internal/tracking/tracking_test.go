@@ -1,0 +1,217 @@
+package tracking
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/halo"
+	"repro/internal/nbody"
+)
+
+// makeSnapshot builds a particle set and finds its halos.
+func makeSnapshot(t *testing.T, build func(p *nbody.Particles)) (*nbody.Particles, *halo.Catalog) {
+	t.Helper()
+	p := nbody.NewParticles(0)
+	build(p)
+	cat, err := halo.FOF(p, 20, halo.Options{LinkingLength: 0.3, MinSize: 5, Periodic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cat
+}
+
+// clump appends n particles with consecutive tags near a point.
+func clump(p *nbody.Particles, n int, cx, cy, cz float64, tagBase int64, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		p.Append(cx+rng.Float64()*0.2, cy+rng.Float64()*0.2, cz+rng.Float64()*0.2,
+			0, 0, 0, tagBase+int64(i))
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	pa := nbody.NewParticles(0)
+	ca := &halo.Catalog{}
+	if _, err := Match(pa, ca, pa, ca, Options{MinShared: 0}); err == nil {
+		t.Error("expected MinShared error")
+	}
+	if _, err := Match(pa, ca, pa, ca, Options{MinShared: 1, MinSharedFraction: 2}); err == nil {
+		t.Error("expected fraction error")
+	}
+}
+
+// A halo that persists (same particles, moved) must link to itself with
+// MainProgenitor set.
+func TestPersistentHaloLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pa, ca := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 30, 5, 5, 5, 0, rng)
+		clump(p, 20, 12, 12, 12, 1000, rng)
+	})
+	pb, cb := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 30, 6, 5, 5, 0, rng)       // same tags, drifted
+		clump(p, 20, 12, 13, 12, 1000, rng) // same tags, drifted
+	})
+	m, err := Match(pa, ca, pb, cb, Options{MinShared: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Links) != 2 {
+		t.Fatalf("links = %+v", m.Links)
+	}
+	for _, l := range m.Links {
+		if l.ProgenitorTag != l.DescendantTag {
+			t.Errorf("halo changed identity: %+v", l)
+		}
+		if !l.MainProgenitor {
+			t.Errorf("persistent halo not main progenitor: %+v", l)
+		}
+		if l.Shared != l.ProgenitorCount {
+			t.Errorf("shared %d != progenitor size %d", l.Shared, l.ProgenitorCount)
+		}
+	}
+	if len(m.Mergers) != 0 || len(m.Orphans) != 0 {
+		t.Errorf("mergers=%v orphans=%v", m.Mergers, m.Orphans)
+	}
+}
+
+// Two progenitors merging into one descendant: a merger with the larger
+// progenitor as main.
+func TestMergerDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pa, ca := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 40, 4, 4, 4, 0, rng)
+		clump(p, 15, 10, 10, 10, 500, rng)
+	})
+	// Later: both clumps at the same place -> one halo.
+	pb, cb := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 40, 7, 7, 7, 0, rng)
+		clump(p, 15, 7.1, 7.1, 7.1, 500, rng)
+	})
+	if len(cb.Halos) != 1 {
+		t.Fatalf("later snapshot should have one merged halo, got %d", len(cb.Halos))
+	}
+	m, err := Match(pa, ca, pb, cb, Options{MinShared: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Links) != 2 {
+		t.Fatalf("links = %+v", m.Links)
+	}
+	if n := m.Mergers[cb.Halos[0].Tag]; n != 2 {
+		t.Errorf("merger count = %d", n)
+	}
+	mains := 0
+	for _, l := range m.Links {
+		if l.MainProgenitor {
+			mains++
+			if l.ProgenitorCount != 40 {
+				t.Errorf("main progenitor should be the 40-particle halo, got %d", l.ProgenitorCount)
+			}
+		}
+	}
+	if mains != 1 {
+		t.Errorf("main progenitors = %d", mains)
+	}
+}
+
+// A halo whose particles disperse has no descendant: an orphan.
+func TestOrphanDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pa, ca := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 20, 5, 5, 5, 0, rng)
+	})
+	// Later: the same tags scattered uniformly (no halo).
+	pb, cb := makeSnapshot(t, func(p *nbody.Particles) {
+		for i := 0; i < 20; i++ {
+			p.Append(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20, 0, 0, 0, int64(i))
+		}
+	})
+	if len(cb.Halos) != 0 {
+		t.Fatalf("scattered snapshot should have no halos, got %d", len(cb.Halos))
+	}
+	m, err := Match(pa, ca, pb, cb, Options{MinShared: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Orphans) != 1 || m.Orphans[0] != ca.Halos[0].Tag {
+		t.Errorf("orphans = %v", m.Orphans)
+	}
+}
+
+func TestMinSharedFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pa, ca := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 40, 5, 5, 5, 0, rng)
+	})
+	// Later halo keeps only 8 of the 40 particles (plus 30 new ones).
+	pb, cb := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 8, 10, 10, 10, 0, rng)
+		clump(p, 30, 10.1, 10.1, 10.1, 9000, rng)
+	})
+	strict := Options{MinShared: 1, MinSharedFraction: 0.5}
+	m, err := Match(pa, ca, pb, cb, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Links) != 0 || len(m.Orphans) != 1 {
+		t.Errorf("strict matching: links=%v orphans=%v", m.Links, m.Orphans)
+	}
+	loose := Options{MinShared: 1}
+	m2, err := Match(pa, ca, pb, cb, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Links) != 1 {
+		t.Errorf("loose matching: links=%v", m2.Links)
+	}
+}
+
+// Track follows the main-progenitor line through multiple steps.
+func TestTrackMainProgenitorLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Step 0: two halos. Step 1: still two. Step 2: merged.
+	p0, c0 := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 30, 4, 4, 4, 0, rng)
+		clump(p, 10, 12, 12, 12, 700, rng)
+	})
+	p1, c1 := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 30, 6, 6, 6, 0, rng)
+		clump(p, 10, 10, 10, 10, 700, rng)
+	})
+	p2, c2 := makeSnapshot(t, func(p *nbody.Particles) {
+		clump(p, 30, 8, 8, 8, 0, rng)
+		clump(p, 10, 8.1, 8.1, 8.1, 700, rng)
+	})
+	m01, err := Match(p0, c0, p1, c1, Options{MinShared: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m12, err := Match(p1, c1, p2, c2, Options{MinShared: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalTag := c2.Halos[0].Tag
+	h, err := Track(finalTag, []*Matches{m01, m12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Tags) != 3 {
+		t.Fatalf("history = %+v", h)
+	}
+	// The main line is the 30-particle halo (tag 0) throughout.
+	for i, tag := range h.Tags {
+		if tag != 0 {
+			t.Errorf("step %d: tag %d, want 0", i, tag)
+		}
+	}
+}
+
+func TestTrackUnknownHalo(t *testing.T) {
+	h, err := Track(999, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Tags) != 1 || h.Tags[0] != 999 {
+		t.Errorf("history = %+v", h)
+	}
+}

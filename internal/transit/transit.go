@@ -1,0 +1,192 @@
+// Package transit implements a shared-memory staging area between a
+// running simulation and co-scheduled analysis consumers — a working
+// realization of the paper's hypothetical third workflow variant:
+// "Instead of writing out the Level 2 data that require further analysis
+// to disk, the data is now stored on a separate memory device and the
+// analysis is done in-transit. This could be either NVRAM or an external
+// memory set-up that is connected to both the main HPC system as well as
+// the analysis cluster" (§4.2). The paper could not test this ("We did not
+// have access to any machines that would have allowed us to carry out this
+// test"); here the staging device is process memory shared between
+// producer and consumer goroutines.
+//
+// The staging area enforces a byte capacity: producers block when the
+// device is full (the simulation stalls if analysis cannot drain fast
+// enough — the real operational risk of in-transit designs), and consumers
+// block until data arrives. Closing the stage drains remaining items.
+package transit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Item is one staged data product.
+type Item struct {
+	// Key identifies the product (e.g. "step030/halo42").
+	Key string
+	// Bytes is the accounted size.
+	Bytes int64
+	// Payload is the in-memory product, handed over zero-copy.
+	Payload any
+}
+
+// ErrClosed is returned by Put after Close and by Get once the stage is
+// closed and drained.
+var ErrClosed = errors.New("transit: stage closed")
+
+// Stage is a bounded in-memory staging device.
+type Stage struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	capacity int64
+	used     int64
+	queue    []Item
+	closed   bool
+
+	// Stats.
+	totalItems int64
+	totalBytes int64
+	peakUsed   int64
+	stallCount int64
+}
+
+// NewStage creates a staging area holding at most capacity bytes.
+func NewStage(capacity int64) (*Stage, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("transit: capacity %d must be positive", capacity)
+	}
+	s := &Stage{capacity: capacity}
+	s.notFull = sync.NewCond(&s.mu)
+	s.notEmpty = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Put stages an item, blocking while the device lacks room. Items larger
+// than the whole device are rejected outright.
+func (s *Stage) Put(item Item) error {
+	if item.Bytes < 0 {
+		return fmt.Errorf("transit: negative size %d", item.Bytes)
+	}
+	if item.Bytes > s.capacity {
+		return fmt.Errorf("transit: item %q (%d bytes) exceeds device capacity %d", item.Key, item.Bytes, s.capacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stalled := false
+	for !s.closed && s.used+item.Bytes > s.capacity {
+		if !stalled {
+			s.stallCount++
+			stalled = true
+		}
+		s.notFull.Wait()
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	s.queue = append(s.queue, item)
+	s.used += item.Bytes
+	s.totalItems++
+	s.totalBytes += item.Bytes
+	if s.used > s.peakUsed {
+		s.peakUsed = s.used
+	}
+	s.notEmpty.Signal()
+	return nil
+}
+
+// Get removes the oldest staged item, blocking until one is available.
+// After Close, remaining items drain; then Get returns ErrClosed.
+func (s *Stage) Get() (Item, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.notEmpty.Wait()
+	}
+	if len(s.queue) == 0 {
+		return Item{}, ErrClosed
+	}
+	item := s.queue[0]
+	s.queue = s.queue[1:]
+	s.used -= item.Bytes
+	s.notFull.Broadcast()
+	return item, nil
+}
+
+// Close marks the stage finished: pending Puts fail, pending Gets drain
+// then fail. Idempotent.
+func (s *Stage) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.notFull.Broadcast()
+	s.notEmpty.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stats reports staging counters.
+type Stats struct {
+	// TotalItems and TotalBytes passed through the device.
+	TotalItems, TotalBytes int64
+	// PeakUsed is the high-water byte mark.
+	PeakUsed int64
+	// StallCount counts Put calls that had to wait for space — nonzero
+	// means the producer (the simulation) was throttled by analysis.
+	StallCount int64
+	// Queued and Used describe the current state.
+	Queued int
+	Used   int64
+}
+
+// Stats returns a snapshot of the device counters.
+func (s *Stage) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		TotalItems: s.totalItems,
+		TotalBytes: s.totalBytes,
+		PeakUsed:   s.peakUsed,
+		StallCount: s.stallCount,
+		Queued:     len(s.queue),
+		Used:       s.used,
+	}
+}
+
+// Consume runs workers goroutines that drain the stage with fn until it
+// closes, returning the first error (nil on clean drain). It is the
+// analysis-side harness: each worker plays one co-scheduled analysis rank.
+func Consume(s *Stage, workers int, fn func(Item) error) error {
+	if workers <= 0 {
+		return fmt.Errorf("transit: workers %d must be positive", workers)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				item, err := s.Get()
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := fn(item); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package transit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewStageValidation(t *testing.T) {
+	if _, err := NewStage(0); err == nil {
+		t.Error("expected capacity error")
+	}
+}
+
+func TestPutGetFIFO(t *testing.T) {
+	s, err := NewStage(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(Item{Key: fmt.Sprint(i), Bytes: 10, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		item, err := s.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.Payload.(int) != i {
+			t.Errorf("got %v, want %d", item.Payload, i)
+		}
+	}
+	st := s.Stats()
+	if st.TotalItems != 5 || st.TotalBytes != 50 || st.Used != 0 || st.Queued != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPutRejectsOversized(t *testing.T) {
+	s, _ := NewStage(100)
+	if err := s.Put(Item{Key: "big", Bytes: 101}); err == nil {
+		t.Error("expected oversize error")
+	}
+	if err := s.Put(Item{Key: "neg", Bytes: -1}); err == nil {
+		t.Error("expected negative error")
+	}
+}
+
+// A full device throttles the producer until a consumer drains — the
+// in-transit backpressure behaviour.
+func TestBackpressure(t *testing.T) {
+	s, _ := NewStage(100)
+	if err := s.Put(Item{Key: "a", Bytes: 80}); err != nil {
+		t.Fatal(err)
+	}
+	var produced atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		err := s.Put(Item{Key: "b", Bytes: 80}) // must wait
+		produced.Store(true)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if produced.Load() {
+		t.Fatal("producer did not block on full device")
+	}
+	if _, err := s.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.StallCount != 1 {
+		t.Errorf("stalls = %d", st.StallCount)
+	}
+	if st.PeakUsed != 80 {
+		t.Errorf("peak = %d", st.PeakUsed)
+	}
+}
+
+func TestCloseDrainsThenFails(t *testing.T) {
+	s, _ := NewStage(100)
+	if err := s.Put(Item{Key: "a", Bytes: 10, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Drain the remaining item.
+	item, err := s.Get()
+	if err != nil || item.Payload.(string) != "x" {
+		t.Fatalf("drain failed: %v %v", item, err)
+	}
+	if _, err := s.Get(); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := s.Put(Item{Key: "late", Bytes: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("late put err = %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestCloseUnblocksBlockedGet(t *testing.T) {
+	s, _ := NewStage(10)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Get(); !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked Get err = %v", err)
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+}
+
+func TestCloseUnblocksBlockedPut(t *testing.T) {
+	s, _ := NewStage(10)
+	if err := s.Put(Item{Key: "a", Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.Put(Item{Key: "b", Bytes: 10}); !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked Put err = %v", err)
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+}
+
+// Producer/consumer pipeline: everything staged is consumed exactly once,
+// across multiple workers, under capacity pressure.
+func TestConsumeAllItemsOnce(t *testing.T) {
+	s, _ := NewStage(50) // tight device: forces stalls
+	const n = 200
+	var seen sync.Map
+	var count atomic.Int64
+	var consumerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		consumerErr = Consume(s, 4, func(item Item) error {
+			if _, dup := seen.LoadOrStore(item.Key, true); dup {
+				return fmt.Errorf("duplicate %s", item.Key)
+			}
+			count.Add(1)
+			return nil
+		})
+	}()
+	for i := 0; i < n; i++ {
+		if err := s.Put(Item{Key: fmt.Sprint(i), Bytes: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	wg.Wait()
+	if consumerErr != nil {
+		t.Fatal(consumerErr)
+	}
+	if count.Load() != n {
+		t.Errorf("consumed %d of %d", count.Load(), n)
+	}
+	if st := s.Stats(); st.StallCount == 0 {
+		t.Error("expected stalls on the tight device")
+	}
+}
+
+func TestConsumeValidation(t *testing.T) {
+	s, _ := NewStage(10)
+	if err := Consume(s, 0, func(Item) error { return nil }); err == nil {
+		t.Error("expected workers error")
+	}
+}
+
+func TestConsumePropagatesWorkerError(t *testing.T) {
+	s, _ := NewStage(100)
+	if err := s.Put(Item{Key: "a", Bytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	sentinel := errors.New("analysis failed")
+	err := Consume(s, 2, func(Item) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
