@@ -14,6 +14,7 @@
 //	workflow-sim -coschedule N  co-scheduling over N timesteps (wall-clock overlap)
 //	workflow-sim -campaign N    full co-scheduled campaign with pile-up statistics
 //	workflow-sim -machines      §4.2 Titan/Rhea/Moonlight analysis-machine choice
+//	workflow-sim -resilience    workflow comparison under injected failures
 //	workflow-sim -all           everything above
 package main
 
@@ -24,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/platform"
 )
 
@@ -39,6 +41,8 @@ func main() {
 		coschedule = flag.Int("coschedule", 0, "co-scheduling demo over N timesteps")
 		campaign   = flag.Int("campaign", 0, "full co-scheduled campaign over N snapshots (pile-up statistics)")
 		machines   = flag.Bool("machines", false, "compare analysis machines for the post job (§4.2 Titan/Rhea/Moonlight trade-off)")
+		resilience = flag.Bool("resilience", false, "compare workflow degradation under injected failures (job death, node drains, write faults, listener outages)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injector seed (with -resilience)")
 		all        = flag.Bool("all", false, "run everything")
 		seed       = flag.Int64("seed", 1, "population synthesis seed")
 	)
@@ -64,6 +68,7 @@ func main() {
 	run(*subhalo, subhaloStudy)
 	run(*autosplit, autoSplit)
 	run(*machines, machineComparison)
+	run(*resilience, func(seed int64) error { return resilienceStudy(seed, *faultSeed) })
 	if *coschedule > 0 || *all {
 		ran = true
 		n := *coschedule
@@ -117,6 +122,43 @@ func machineComparison(seed int64) error {
 		fmt.Printf("  %-10s %6s %14.0f %12.0f %10.1f %s\n",
 			c.Machine.Name, gpus, c.PostAnalysisSeconds, c.QueueWaitSeconds, c.CoreHours, cap)
 	}
+	return nil
+}
+
+// defaultFaultProfile is the facility-weather profile the resilience
+// comparison runs under: occasional job death, flaky Lustre writes with
+// rare silent truncation, a listener outage early in the run, and a node
+// drain on the analysis partition.
+func defaultFaultProfile(faultSeed int64) fault.Profile {
+	return fault.Profile{
+		Seed:              faultSeed,
+		JobFailureProb:    0.25,
+		WriteFailProb:     0.10,
+		WriteTruncateProb: 0.05,
+		ListenerOutages:   []fault.Window{{Start: 600, End: 1200}},
+		NodeDrains:        []fault.Drain{{Window: fault.Window{Start: 400, End: 900}, Nodes: 2}},
+	}
+}
+
+func resilienceStudy(seed, faultSeed int64) error {
+	s, err := core.DownscaledScenario(seed)
+	if err != nil {
+		return err
+	}
+	s.Timesteps = 5
+	s.PostQueueWait = 0
+	p := defaultFaultProfile(faultSeed)
+	rows, err := core.ResilienceStudy(s, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Resilience under injected failures (fault seed %d; %.0f%% job death, %.0f%% write fail, %.0f%% truncation,\n"+
+		"listener outage %.0f-%.0f s, %d nodes drained %.0f-%.0f s; retries: %d attempts, %.0f s backoff x2 +25%% jitter):\n",
+		p.Seed, 100*p.JobFailureProb, 100*p.WriteFailProb, 100*p.WriteTruncateProb,
+		p.ListenerOutages[0].Start, p.ListenerOutages[0].End,
+		p.NodeDrains[0].Nodes, p.NodeDrains[0].Start, p.NodeDrains[0].End,
+		4, 30.0)
+	fmt.Print(core.FormatResilience(rows))
 	return nil
 }
 

@@ -33,6 +33,9 @@ type CampaignReport struct {
 	// TrailingSeconds is analysis work remaining after the simulation
 	// finished.
 	TrailingSeconds float64
+	// Resilience accounts failures and recoveries when the scenario has a
+	// fault profile (all zero otherwise).
+	Resilience Resilience
 }
 
 // Campaign runs a co-scheduled combined-workflow campaign over the given
@@ -50,15 +53,19 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 	stepDur := s.StepInterval + ph.fof + ph.centerSmallMax + ph.l2Write + ph.l3Write
 
 	var sim des.Sim
+	inj := s.injector()
 	storage := fs.New(&sim, "lustre")
+	storage.SetFaults(inj)
 	simCluster, err := sched.NewCluster(&sim, s.Machine)
 	if err != nil {
 		return nil, err
 	}
+	faultCluster(simCluster, inj, s.retry())
 	postCluster, err := sched.NewCluster(&sim, s.PostMachine)
 	if err != nil {
 		return nil, err
 	}
+	faultCluster(postCluster, inj, s.retry())
 	rep := &CampaignReport{Timesteps: timesteps}
 	var jobStarts []float64
 	seq := 0
@@ -66,6 +73,7 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 		Sim: &sim, FS: storage, Cluster: postCluster,
 		Prefix:       "l2/",
 		PollInterval: s.ListenerPoll,
+		Faults:       inj,
 		MakeJob: func(path string, f *fs.File) *sched.Job {
 			seq++
 			j := &sched.Job{Name: fmt.Sprintf("post-%03d", seq), Nodes: s.PostNodes, Duration: perStepPost}
@@ -80,11 +88,16 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 		Name: "sim", Nodes: s.SimNodes,
 		Duration: float64(timesteps) * stepDur,
 		OnStart: func(j *sched.Job) {
+			attempt := j.Attempt
 			for step := 1; step <= timesteps; step++ {
 				at := j.StartTime + float64(step)*stepDur
 				step := step
 				sim.At(at, func() {
-					storage.Write(fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, 0, nil, nil)
+					if j.Attempt != attempt {
+						return // this attempt failed before reaching the step
+					}
+					redriveWrite(&sim, storage, &rep.Resilience,
+						fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, writeRedriveDelay, 0)
 				})
 			}
 		},
@@ -100,6 +113,10 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 		return nil, err
 	}
 	sim.Run()
+	rep.Resilience.addCluster(simCluster)
+	rep.Resilience.addCluster(postCluster)
+	rep.Resilience.addFS(storage)
+	rep.Resilience.addListener(listener)
 	rep.TotalWallClock = sim.Now()
 	rep.AnalysisJobs = len(postCluster.Finished())
 	rep.MaxPileUp = postCluster.MaxPendingSeen

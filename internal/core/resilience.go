@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/fs"
+	"repro/internal/sched"
+)
+
+// Resilience aggregates the failure/recovery accounting of one workflow
+// run. All fields are zero when the scenario has no fault profile, so the
+// failure path is strictly additive to the paper's ideal-world reports.
+type Resilience struct {
+	// JobAttempts counts every job attempt started (retries included);
+	// JobFailures those that died mid-run; Resubmits the failed attempts
+	// resubmitted under the retry policy; JobsLost the jobs whose retries
+	// were exhausted.
+	JobAttempts, JobFailures, Resubmits, JobsLost int
+	// WriteFailures and TruncatedWrites count storage faults;
+	// WritesRedriven counts lost or truncated files recovered by
+	// re-driving the write.
+	WriteFailures, TruncatedWrites, WritesRedriven int
+	// MissedPolls counts listener polls lost to outage windows.
+	MissedPolls int
+	// TimeLostSeconds is execution time discarded by failed attempts;
+	// LostCoreHours is the facility charge for that discarded time.
+	TimeLostSeconds float64
+	LostCoreHours   float64
+}
+
+// addCluster folds one cluster's failure counters into the summary.
+func (res *Resilience) addCluster(c *sched.Cluster) {
+	res.JobAttempts += c.Attempts
+	res.JobFailures += c.FailedAttempts
+	res.Resubmits += c.Resubmits
+	res.JobsLost += c.LostJobs
+	res.TimeLostSeconds += c.TimeLost
+	res.LostCoreHours += c.LostNodeSeconds / 3600 * c.Machine.ChargeFactor
+}
+
+// addFS folds one storage tier's fault counters into the summary.
+func (res *Resilience) addFS(s *fs.System) {
+	res.WriteFailures += s.WriteFailures
+	res.TruncatedWrites += s.TruncatedWrites
+}
+
+// addListener folds the listener's outage counter into the summary.
+func (res *Resilience) addListener(l *sched.Listener) {
+	res.MissedPolls += l.MissedPolls
+}
+
+// injector builds the scenario's fault injector — nil when no profile is
+// set or the profile injects nothing, which keeps the failure-free runs on
+// the exact event sequence of the original model.
+func (s *Scenario) injector() *fault.Injector {
+	if s.Faults == nil || !s.Faults.Enabled() {
+		return nil
+	}
+	return fault.New(*s.Faults)
+}
+
+// retry returns the scenario's retry policy, defaulting to
+// sched.DefaultRetry when unset.
+func (s *Scenario) retry() sched.RetryPolicy {
+	if s.Retry.MaxAttempts > 0 {
+		return s.Retry
+	}
+	return sched.DefaultRetry()
+}
+
+// ResilienceRow compares one workflow kind with and without faults.
+type ResilienceRow struct {
+	Workflow Kind
+	// Baseline ran the zero-fault scenario; Faulted ran it under the
+	// profile.
+	Baseline, Faulted *Report
+}
+
+// WallInflation is the faulted wall clock relative to the baseline (1.0 =
+// no degradation).
+func (r *ResilienceRow) WallInflation() float64 {
+	if r.Baseline.WallClock == 0 {
+		return 1
+	}
+	return r.Faulted.WallClock / r.Baseline.WallClock
+}
+
+// CoreHourInflation is the faulted analysis charge (including the charge
+// for discarded attempts) relative to the baseline.
+func (r *ResilienceRow) CoreHourInflation() float64 {
+	base := r.Baseline.AnalysisCoreHours
+	if base == 0 {
+		return 1
+	}
+	return (r.Faulted.AnalysisCoreHours + r.Faulted.Resilience.LostCoreHours) / base
+}
+
+// ResilienceStudy runs every workflow kind twice — once failure-free, once
+// under the fault profile — and reports how gracefully each variant
+// degrades: the "which workflow survives real facility conditions" question
+// the paper's idealized Tables 3/4 cannot answer.
+func ResilienceStudy(s *Scenario, p fault.Profile) ([]ResilienceRow, error) {
+	var rows []ResilienceRow
+	for _, k := range Kinds() {
+		base := *s
+		base.Faults = nil
+		br, err := Run(&base, k)
+		if err != nil {
+			return nil, err
+		}
+		faulted := *s
+		faulted.Faults = &p
+		fr, err := Run(&faulted, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ResilienceRow{Workflow: k, Baseline: br, Faulted: fr})
+	}
+	return rows, nil
+}
+
+// FormatResilience renders the study as the side-by-side degradation table
+// printed by workflow-sim -resilience. The output is deterministic for a
+// fixed scenario seed and fault profile.
+func FormatResilience(rows []ResilienceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-30s %9s %9s %8s | %8s %7s %5s %6s %7s %7s | %9s %8s\n",
+		"workflow", "wall[s]", "+faults", "inflate",
+		"attempts", "jobfail", "lost", "wrfail", "wrtrunc", "redrive", "t-lost[s]", "+corehrs")
+	for _, row := range rows {
+		res := row.Faulted.Resilience
+		fmt.Fprintf(&b, "  %-30s %9.0f %9.0f %7.2fx | %8d %7d %5d %6d %7d %7d | %9.0f %8.1f\n",
+			row.Workflow, row.Baseline.WallClock, row.Faulted.WallClock, row.WallInflation(),
+			res.JobAttempts, res.JobFailures, res.JobsLost,
+			res.WriteFailures, res.TruncatedWrites, res.WritesRedriven,
+			res.TimeLostSeconds, res.LostCoreHours)
+	}
+	return b.String()
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/cosmo"
+	"repro/internal/fault"
 	"repro/internal/platform"
+	"repro/internal/sched"
 )
 
 // Scenario fixes everything a workflow comparison needs: the machine, the
@@ -46,6 +48,14 @@ type Scenario struct {
 	PostQueueWait float64
 	// ListenerPoll is the co-scheduling listener's poll interval.
 	ListenerPoll float64
+	// Faults optionally injects deterministic failures (job death, node
+	// drains, write faults, listener outages) into the workflow run. nil —
+	// or a profile that injects nothing — reproduces the paper's
+	// failure-free world exactly.
+	Faults *fault.Profile
+	// Retry governs resubmission of failed jobs when Faults are active;
+	// the zero value means sched.DefaultRetry.
+	Retry sched.RetryPolicy
 }
 
 // Validate reports scenario construction errors.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/sched"
 )
@@ -60,6 +61,10 @@ type Report struct {
 
 	// Co-scheduling detail: analysis job start times (virtual seconds).
 	AnalysisJobStarts []float64
+
+	// Resilience accounts failures and recoveries when the scenario has a
+	// fault profile (all zero otherwise).
+	Resilience Resilience
 }
 
 // SimJobTotal is the simulation job's wall time per analysis step.
@@ -141,6 +146,49 @@ func maxOf(vs []float64) float64 {
 	return m
 }
 
+// faultCluster attaches the scenario's injector, retry policy and drain
+// windows to a cluster (no-op under a nil injector, preserving the
+// failure-free event sequence exactly).
+func faultCluster(c *sched.Cluster, inj *fault.Injector, retry sched.RetryPolicy) {
+	if inj == nil {
+		return
+	}
+	c.Faults = inj
+	c.Retry = retry
+	c.ApplyDrains(inj.NodeDrains())
+}
+
+// redriveLimit bounds write re-drives so a pathological profile (100%
+// write failure) cannot loop forever; each re-drive draws an independent
+// fault outcome, so under realistic rates the file always lands.
+const redriveLimit = 8
+
+// writeRedriveDelay is the virtual-seconds pause before a failed or
+// truncated Level 2 write is re-driven.
+const writeRedriveDelay = 5.0
+
+// redriveWrite performs one Level 1/Level 2 write, verifies the landed
+// size against the writer's intent, and re-drives the write after delay
+// seconds when it failed outright or landed silently truncated — the
+// workflow engine's recovery loop for storage faults.
+func redriveWrite(sim *des.Sim, storage *fs.System, res *Resilience, path string, bytes, delay float64, attempt int) {
+	storage.WriteChecked(path, bytes, 0, nil, func(err error) {
+		if err == nil {
+			if _, verr := storage.VerifySize(path, bytes); verr == nil {
+				return // landed intact
+			}
+			storage.Delete(path) // truncated: drop the short file
+		}
+		if attempt+1 >= redriveLimit {
+			return // give up; the file is lost
+		}
+		res.WritesRedriven++
+		sim.After(delay, func() {
+			redriveWrite(sim, storage, res, path, bytes, delay, attempt+1)
+		})
+	})
+}
+
 // Run executes the chosen workflow for the scenario on a discrete-event
 // clock and returns its report. Timesteps > 1 exercises the co-scheduling
 // pile-up behaviour; the Table 3/4 comparisons use Timesteps = 1.
@@ -174,6 +222,7 @@ func runInSitu(s *Scenario, ph *phases) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	faultCluster(cluster, s.injector(), s.retry())
 	analysis := ph.fof + ph.centerAllMax
 	write := ph.l3Write
 	stepDur := s.StepInterval + analysis + write
@@ -182,6 +231,7 @@ func runInSitu(s *Scenario, ph *phases) (*Report, error) {
 		return nil, err
 	}
 	sim.Run()
+	r.Resilience.addCluster(cluster)
 	r.SimSeconds = float64(s.Timesteps) * s.StepInterval
 	r.AnalysisSeconds = float64(s.Timesteps) * analysis
 	r.SimWriteSeconds = float64(s.Timesteps) * write
@@ -205,6 +255,7 @@ func runOffline(s *Scenario, ph *phases) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	faultCluster(cluster, s.injector(), s.retry())
 	cluster.ExtraQueueWait = func(j *sched.Job) float64 {
 		if j.Name == "offline-analysis" {
 			return s.OfflineQueueWait
@@ -227,6 +278,7 @@ func runOffline(s *Scenario, ph *phases) (*Report, error) {
 		return nil, err
 	}
 	sim.Run()
+	r.Resilience.addCluster(cluster)
 	steps := float64(s.Timesteps)
 	r.SimSeconds = steps * s.StepInterval
 	r.SimWriteSeconds = steps * ph.l1Write
@@ -274,17 +326,25 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 	perStepPost := l2Read + ph.l2Redist + ph.postCenter + ph.l3Write
 
 	var sim des.Sim
+	inj := s.injector()
 	storage := fs.New(&sim, "lustre")
+	if !inTransit {
+		// In-transit Level 2 never touches the file system, so storage
+		// faults only apply to the disk-staged variants.
+		storage.SetFaults(inj)
+	}
 	cluster, err := sched.NewCluster(&sim, s.Machine)
 	if err != nil {
 		return nil, err
 	}
+	faultCluster(cluster, inj, s.retry())
 	// The post jobs run on the post machine's cluster (same machine in the
 	// Table 4 set-up, Moonlight for Q Continuum).
 	postCluster, err := sched.NewCluster(&sim, s.PostMachine)
 	if err != nil {
 		return nil, err
 	}
+	faultCluster(postCluster, inj, s.retry())
 	postCluster.ExtraQueueWait = func(*sched.Job) float64 { return postQueueWait }
 
 	newPostJob := func(step int) *sched.Job {
@@ -300,6 +360,7 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 			Sim: &sim, FS: storage, Cluster: postCluster,
 			Prefix:       "l2/step",
 			PollInterval: s.ListenerPoll,
+			Faults:       inj,
 			MakeJob: func(path string, f *fs.File) *sched.Job {
 				jobSeq++
 				return newPostJob(jobSeq)
@@ -316,11 +377,19 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 		Duration: float64(s.Timesteps) * stepDur,
 		OnStart: func(j *sched.Job) {
 			// Emit one Level 2 file per timestep as the run progresses.
+			// Writes are verified and re-driven on failure or truncation;
+			// outputs of an attempt that later dies never land (the gate on
+			// j.Attempt below).
+			attempt := j.Attempt
 			for step := 1; step <= s.Timesteps; step++ {
 				at := j.StartTime + float64(step)*stepDur
 				step := step
 				sim.At(at, func() {
-					storage.Write(fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, 0, nil, nil)
+					if j.Attempt != attempt {
+						return // this attempt failed before reaching the step
+					}
+					redriveWrite(&sim, storage, &r.Resilience,
+						fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, writeRedriveDelay, 0)
 				})
 			}
 		},
@@ -348,6 +417,12 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 		return nil, err
 	}
 	sim.Run()
+	r.Resilience.addCluster(cluster)
+	r.Resilience.addCluster(postCluster)
+	r.Resilience.addFS(storage)
+	if listener != nil {
+		r.Resilience.addListener(listener)
+	}
 
 	steps := float64(s.Timesteps)
 	r.SimSeconds = steps * s.StepInterval

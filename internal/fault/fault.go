@@ -1,0 +1,217 @@
+// Package fault is a seeded, deterministic fault injector for the
+// discrete-event workflow models. Real co-scheduling deployments are
+// dominated by failures the paper's idealized comparison never sees: batch
+// jobs die mid-run, Lustre writes fail or land silently truncated, the
+// Bellerophon-style listener drops polls during outages, and in-transit
+// consumers abort mid-item. A Profile declares rates and windows for each
+// fault class; an Injector answers per-event "does this fail?" queries.
+//
+// Determinism: every draw is keyed by a stable identity (job name +
+// attempt, file path + write sequence, item key + delivery count) hashed
+// together with the profile seed into its own substream. The same seed
+// therefore produces the same faults regardless of call order or goroutine
+// interleaving — a property the repeatability tests assert by requiring
+// byte-identical reports across runs.
+//
+// All Injector methods are nil-receiver safe and report "no fault", so
+// callers thread a possibly-nil *Injector without guarding every site; a
+// nil injector (or a zero Profile) reproduces the failure-free world
+// exactly.
+package fault
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Window is a half-open interval [Start, End) of virtual seconds.
+type Window struct {
+	Start, End float64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool { return t >= w.Start && t < w.End }
+
+// Drain marks a window during which Nodes nodes of a cluster are held out
+// of service (drained for maintenance or down after a hardware fault).
+// Jobs already running on drained nodes keep running — the capacity is
+// withheld from new starts, as a real scheduler reservation would.
+type Drain struct {
+	Window
+	Nodes int
+}
+
+// Profile declares the fault classes and their rates. The zero value
+// injects nothing; every workflow run under a zero Profile is identical to
+// a run with no injector at all.
+type Profile struct {
+	// Seed keys every random draw. Two runs with equal Profiles produce
+	// identical fault sequences.
+	Seed int64
+
+	// JobFailureProb is the probability that one job attempt dies mid-run.
+	// The failure point is drawn uniformly from JobFailureFrac of the
+	// attempt's duration (default [0.05, 0.95] when both are zero).
+	JobFailureProb                       float64
+	JobFailureFracMin, JobFailureFracMax float64
+
+	// WriteFailProb is the probability a file-system write errors outright
+	// (nothing lands). WriteTruncateProb is the probability it lands
+	// silently truncated to a TruncateFrac fraction of its bytes (default
+	// [0.1, 0.9] when both are zero); only a reader that verifies the
+	// expected size notices.
+	WriteFailProb                  float64
+	WriteTruncateProb              float64
+	TruncateFracMin, TruncateFracMax float64
+
+	// ListenerOutages are windows during which the co-scheduling listener
+	// is down: polls that fall inside are lost (files are only picked up
+	// by a later poll or the final sweep).
+	ListenerOutages []Window
+
+	// ConsumerAbortProb is the probability an in-transit consumer dies
+	// while processing one item delivery (the item must be redelivered).
+	ConsumerAbortProb float64
+
+	// NodeDrains withhold cluster capacity during windows.
+	NodeDrains []Drain
+}
+
+// Enabled reports whether the profile can inject any fault at all.
+func (p Profile) Enabled() bool {
+	return p.JobFailureProb > 0 || p.WriteFailProb > 0 || p.WriteTruncateProb > 0 ||
+		p.ConsumerAbortProb > 0 || len(p.ListenerOutages) > 0 || len(p.NodeDrains) > 0
+}
+
+// WriteOutcome classifies one file-system write attempt.
+type WriteOutcome int
+
+const (
+	// WriteOK lands the file intact.
+	WriteOK WriteOutcome = iota
+	// WriteFail errors the write; no file lands.
+	WriteFail
+	// WriteTruncate lands the file silently short.
+	WriteTruncate
+)
+
+// Injector answers fault queries for one Profile. The zero-value pointer
+// (nil) injects nothing.
+type Injector struct {
+	p Profile
+}
+
+// New builds an injector for the profile. A zero profile yields a valid
+// injector that never injects.
+func New(p Profile) *Injector { return &Injector{p: p} }
+
+// Profile returns the injector's profile (zero when the injector is nil).
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{}
+	}
+	return in.p
+}
+
+// rng derives an independent substream from the seed and a stable key, so
+// draws are order- and interleaving-independent.
+func (in *Injector) rng(kind, key string, n int) *rand.Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	s := uint64(in.p.Seed)
+	for i := range b {
+		b[i] = byte(s >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	for i := range b {
+		b[i] = byte(uint64(n) >> (8 * i))
+	}
+	h.Write(b[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+func fracRange(lo, hi, defLo, defHi float64) (float64, float64) {
+	if lo == 0 && hi == 0 {
+		return defLo, defHi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// JobAttempt decides whether the named job's attempt (0-based) dies
+// mid-run, and if so at which fraction of its duration.
+func (in *Injector) JobAttempt(name string, attempt int) (failFrac float64, fail bool) {
+	if in == nil || in.p.JobFailureProb <= 0 {
+		return 0, false
+	}
+	r := in.rng("job", name, attempt)
+	if r.Float64() >= in.p.JobFailureProb {
+		return 0, false
+	}
+	lo, hi := fracRange(in.p.JobFailureFracMin, in.p.JobFailureFracMax, 0.05, 0.95)
+	return lo + r.Float64()*(hi-lo), true
+}
+
+// RetryJitter returns a deterministic jitter factor in [0, 1) for the
+// named job's retry backoff.
+func (in *Injector) RetryJitter(name string, attempt int) float64 {
+	if in == nil {
+		return 0
+	}
+	return in.rng("retry", name, attempt).Float64()
+}
+
+// Write decides the outcome of the attempt-th write (0-based) of the given
+// path, returning the surviving byte fraction for truncations.
+func (in *Injector) Write(path string, attempt int) (WriteOutcome, float64) {
+	if in == nil || (in.p.WriteFailProb <= 0 && in.p.WriteTruncateProb <= 0) {
+		return WriteOK, 1
+	}
+	r := in.rng("write", path, attempt)
+	u := r.Float64()
+	switch {
+	case u < in.p.WriteFailProb:
+		return WriteFail, 0
+	case u < in.p.WriteFailProb+in.p.WriteTruncateProb:
+		lo, hi := fracRange(in.p.TruncateFracMin, in.p.TruncateFracMax, 0.1, 0.9)
+		return WriteTruncate, lo + r.Float64()*(hi-lo)
+	default:
+		return WriteOK, 1
+	}
+}
+
+// ListenerDown reports whether the listener is inside an outage window at
+// virtual time t.
+func (in *Injector) ListenerDown(t float64) bool {
+	if in == nil {
+		return false
+	}
+	for _, w := range in.p.ListenerOutages {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsumerAbort decides whether the consumer processing the delivery-th
+// hand-out (0-based) of the keyed item dies mid-item.
+func (in *Injector) ConsumerAbort(key string, delivery int) bool {
+	if in == nil || in.p.ConsumerAbortProb <= 0 {
+		return false
+	}
+	return in.rng("consume", key, delivery).Float64() < in.p.ConsumerAbortProb
+}
+
+// NodeDrains returns the profile's drain windows (nil for a nil injector).
+func (in *Injector) NodeDrains() []Drain {
+	if in == nil {
+		return nil
+	}
+	return in.p.NodeDrains
+}

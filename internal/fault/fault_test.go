@@ -1,0 +1,163 @@
+package fault
+
+import "testing"
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if _, fail := in.JobAttempt("j", 0); fail {
+		t.Error("nil injector failed a job")
+	}
+	if out, frac := in.Write("p", 0); out != WriteOK || frac != 1 {
+		t.Errorf("nil injector write = %v %v", out, frac)
+	}
+	if in.ListenerDown(0) || in.ConsumerAbort("k", 0) {
+		t.Error("nil injector reported an outage/abort")
+	}
+	if in.RetryJitter("j", 0) != 0 || in.NodeDrains() != nil {
+		t.Error("nil injector jitter/drains nonzero")
+	}
+	if in.Profile().Enabled() {
+		t.Error("nil injector profile enabled")
+	}
+}
+
+func TestZeroProfileInjectsNothing(t *testing.T) {
+	in := New(Profile{Seed: 42})
+	if in.Profile().Enabled() {
+		t.Error("zero profile enabled")
+	}
+	for i := 0; i < 100; i++ {
+		if _, fail := in.JobAttempt("job", i); fail {
+			t.Fatal("zero profile failed a job")
+		}
+		if out, _ := in.Write("path", i); out != WriteOK {
+			t.Fatal("zero profile failed a write")
+		}
+		if in.ConsumerAbort("item", i) {
+			t.Fatal("zero profile aborted a consumer")
+		}
+	}
+}
+
+// The core determinism property: identical profiles give identical draws,
+// independent of query order.
+func TestDrawsAreSeededAndOrderIndependent(t *testing.T) {
+	p := Profile{Seed: 7, JobFailureProb: 0.5, WriteFailProb: 0.2, WriteTruncateProb: 0.2, ConsumerAbortProb: 0.3}
+	a, b := New(p), New(p)
+
+	// Query b in reverse order; answers must still match a's.
+	type jobDraw struct {
+		frac float64
+		fail bool
+	}
+	var fwd []jobDraw
+	for i := 0; i < 50; i++ {
+		frac, fail := a.JobAttempt("sim", i)
+		fwd = append(fwd, jobDraw{frac, fail})
+	}
+	for i := 49; i >= 0; i-- {
+		frac, fail := b.JobAttempt("sim", i)
+		if frac != fwd[i].frac || fail != fwd[i].fail {
+			t.Fatalf("attempt %d: (%v,%v) != (%v,%v)", i, frac, fail, fwd[i].frac, fwd[i].fail)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		oa, fa := a.Write("l2/step001.gio", i)
+		ob, fb := b.Write("l2/step001.gio", i)
+		if oa != ob || fa != fb {
+			t.Fatalf("write %d: (%v,%v) != (%v,%v)", i, oa, fa, ob, fb)
+		}
+		if a.ConsumerAbort("item", i) != b.ConsumerAbort("item", i) {
+			t.Fatalf("consumer draw %d differs", i)
+		}
+		if a.RetryJitter("sim", i) != b.RetryJitter("sim", i) {
+			t.Fatalf("jitter draw %d differs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	pa := Profile{Seed: 1, JobFailureProb: 0.5}
+	pb := Profile{Seed: 2, JobFailureProb: 0.5}
+	a, b := New(pa), New(pb)
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		_, fa := a.JobAttempt("j", i)
+		_, fb := b.JobAttempt("j", i)
+		if fa == fb {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seeds 1 and 2 produced identical fault sequences")
+	}
+}
+
+func TestRatesAreRoughlyHonored(t *testing.T) {
+	in := New(Profile{Seed: 3, JobFailureProb: 0.25})
+	fails := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if frac, fail := in.JobAttempt("j", i); fail {
+			fails++
+			if frac < 0.05 || frac > 0.95 {
+				t.Fatalf("failure fraction %v outside default range", frac)
+			}
+		}
+	}
+	got := float64(fails) / n
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("failure rate %v, want ~0.25", got)
+	}
+}
+
+func TestWriteOutcomeSplit(t *testing.T) {
+	in := New(Profile{Seed: 4, WriteFailProb: 0.3, WriteTruncateProb: 0.3})
+	var fail, trunc, ok int
+	const n = 3000
+	for i := 0; i < n; i++ {
+		switch out, frac := in.Write("p", i); out {
+		case WriteFail:
+			fail++
+		case WriteTruncate:
+			trunc++
+			if frac <= 0 || frac >= 1 {
+				t.Fatalf("truncate frac %v", frac)
+			}
+		default:
+			ok++
+		}
+	}
+	for name, c := range map[string]int{"fail": fail, "trunc": trunc, "ok": ok} {
+		frac := float64(c) / n
+		lo, hi := 0.25, 0.35
+		if name == "ok" {
+			lo, hi = 0.35, 0.45
+		}
+		if frac < lo || frac > hi {
+			t.Errorf("%s fraction %v outside [%v,%v]", name, frac, lo, hi)
+		}
+	}
+}
+
+func TestWindowsAndDrains(t *testing.T) {
+	in := New(Profile{
+		ListenerOutages: []Window{{Start: 100, End: 200}},
+		NodeDrains:      []Drain{{Window: Window{Start: 50, End: 60}, Nodes: 4}},
+	})
+	if !in.Profile().Enabled() {
+		t.Error("windowed profile not enabled")
+	}
+	for _, tc := range []struct {
+		t    float64
+		down bool
+	}{{99, false}, {100, true}, {199, true}, {200, false}} {
+		if got := in.ListenerDown(tc.t); got != tc.down {
+			t.Errorf("ListenerDown(%v) = %v", tc.t, got)
+		}
+	}
+	if d := in.NodeDrains(); len(d) != 1 || d[0].Nodes != 4 {
+		t.Errorf("drains = %v", d)
+	}
+}

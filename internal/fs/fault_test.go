@@ -1,0 +1,103 @@
+package fs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+)
+
+func TestWriteCheckedFailureLandsNothing(t *testing.T) {
+	var sim des.Sim
+	s := New(&sim, "lustre")
+	s.SetFaults(fault.New(fault.Profile{Seed: 1, WriteFailProb: 1}))
+	var got error
+	s.WriteChecked("out/a", 100, 10, nil, func(err error) { got = err })
+	sim.Run()
+	if !errors.Is(got, ErrWriteFailed) {
+		t.Errorf("err = %v, want ErrWriteFailed", got)
+	}
+	if _, err := s.Stat("out/a"); err == nil {
+		t.Error("failed write landed a file")
+	}
+	if s.WriteFailures != 1 {
+		t.Errorf("WriteFailures = %d", s.WriteFailures)
+	}
+}
+
+func TestWriteCheckedTruncationIsSilentUntilVerified(t *testing.T) {
+	var sim des.Sim
+	s := New(&sim, "lustre")
+	s.SetFaults(fault.New(fault.Profile{Seed: 2, WriteTruncateProb: 1}))
+	var got error = errors.New("sentinel")
+	s.WriteChecked("out/a", 1000, 0, nil, func(err error) { got = err })
+	sim.Run()
+	if got != nil {
+		t.Errorf("truncation must be silent at write time, got %v", got)
+	}
+	f, err := s.Stat("out/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bytes >= 1000 || f.Bytes <= 0 {
+		t.Errorf("truncated size = %v, want in (0, 1000)", f.Bytes)
+	}
+	if _, err := s.VerifySize("out/a", 1000); err == nil {
+		t.Error("VerifySize accepted a truncated file")
+	}
+	if s.TruncatedWrites != 1 {
+		t.Errorf("TruncatedWrites = %d", s.TruncatedWrites)
+	}
+}
+
+func TestVerifySizeAcceptsIntactFile(t *testing.T) {
+	var sim des.Sim
+	s := New(&sim, "lustre")
+	s.Write("out/a", 500, 0, nil, nil)
+	sim.Run()
+	if _, err := s.VerifySize("out/a", 500); err != nil {
+		t.Errorf("intact file rejected: %v", err)
+	}
+	if _, err := s.VerifySize("missing", 500); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// Each attempt at the same path draws an independent outcome, so a
+// re-driven write can succeed after a failure.
+func TestWriteAttemptsDrawIndependently(t *testing.T) {
+	var sim des.Sim
+	s := New(&sim, "lustre")
+	s.SetFaults(fault.New(fault.Profile{Seed: 5, WriteFailProb: 0.5}))
+	outcomes := map[bool]int{}
+	for i := 0; i < 40; i++ {
+		var failed bool
+		s.WriteChecked("out/a", 10, 0, nil, func(err error) { failed = err != nil })
+		sim.Run()
+		outcomes[failed]++
+	}
+	if outcomes[true] == 0 || outcomes[false] == 0 {
+		t.Errorf("outcomes = %v; attempts must be independent draws", outcomes)
+	}
+}
+
+// The zero-value profile and the legacy Write path stay failure-free.
+func TestZeroProfileWritesAreIntact(t *testing.T) {
+	var sim des.Sim
+	s := New(&sim, "lustre")
+	s.SetFaults(fault.New(fault.Profile{Seed: 99}))
+	var done bool
+	s.Write("out/a", 100, 5, "p", func() { done = true })
+	sim.Run()
+	if !done {
+		t.Error("done not fired")
+	}
+	f, err := s.VerifySize("out/a", 100)
+	if err != nil || f.Payload.(string) != "p" {
+		t.Errorf("file = %+v, err = %v", f, err)
+	}
+	if s.WriteFailures != 0 || s.TruncatedWrites != 0 {
+		t.Errorf("counters nonzero: %d %d", s.WriteFailures, s.TruncatedWrites)
+	}
+}

@@ -11,12 +11,17 @@
 package fs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/des"
+	"repro/internal/fault"
 )
+
+// ErrWriteFailed reports a write that errored outright: no file landed.
+var ErrWriteFailed = errors.New("fs: write failed")
 
 // File is one stored object.
 type File struct {
@@ -35,28 +40,71 @@ type File struct {
 
 // System is one storage tier on a discrete-event clock.
 type System struct {
-	sim   *des.Sim
-	name  string
-	files map[string]*File
+	sim      *des.Sim
+	name     string
+	files    map[string]*File
+	faults   *fault.Injector
+	writeSeq map[string]int
+
+	// Fault counters (zero under a nil injector).
+	WriteFailures   int
+	TruncatedWrites int
 }
 
 // New creates a storage tier bound to the simulation clock.
 func New(sim *des.Sim, name string) *System {
-	return &System{sim: sim, name: name, files: map[string]*File{}}
+	return &System{sim: sim, name: name, files: map[string]*File{}, writeSeq: map[string]int{}}
 }
 
 // Name identifies the tier ("lustre", "burst-buffer", ...).
 func (s *System) Name() string { return s.name }
 
+// SetFaults attaches a fault injector: writes may then fail outright or
+// land silently truncated. A nil injector restores the failure-free tier.
+func (s *System) SetFaults(inj *fault.Injector) { s.faults = inj }
+
 // Write starts writing a file that takes duration seconds to land; done
-// (if non-nil) fires when the file becomes visible. Overwrites replace the
-// old file at completion.
+// (if non-nil) fires when the write attempt resolves, whether or not the
+// file landed (legacy interface — use WriteChecked to observe failures).
+// Overwrites replace the old file at completion.
 func (s *System) Write(path string, bytes, duration float64, payload any, done func()) {
-	completeAt := s.sim.Now() + duration
-	s.sim.After(duration, func() {
-		s.files[path] = &File{Path: path, Bytes: bytes, VisibleAt: completeAt, Payload: payload}
+	s.WriteChecked(path, bytes, duration, payload, func(error) {
 		if done != nil {
 			done()
+		}
+	})
+}
+
+// WriteChecked starts writing a file that takes duration seconds to land;
+// done (if non-nil) fires when the attempt resolves. Under an attached
+// fault injector the write may fail outright (done receives ErrWriteFailed
+// and no file lands) or land silently truncated (done receives nil and
+// only a size check — VerifySize — catches the short file). Each attempt
+// at the same path draws an independent fault outcome, so re-driving a
+// failed write can succeed.
+func (s *System) WriteChecked(path string, bytes, duration float64, payload any, done func(error)) {
+	attempt := s.writeSeq[path]
+	s.writeSeq[path]++
+	outcome, frac := s.faults.Write(s.name+":"+path, attempt)
+	completeAt := s.sim.Now() + duration
+	s.sim.After(duration, func() {
+		switch outcome {
+		case fault.WriteFail:
+			s.WriteFailures++
+			if done != nil {
+				done(ErrWriteFailed)
+			}
+		case fault.WriteTruncate:
+			s.TruncatedWrites++
+			s.files[path] = &File{Path: path, Bytes: bytes * frac, VisibleAt: completeAt, Payload: payload}
+			if done != nil {
+				done(nil)
+			}
+		default:
+			s.files[path] = &File{Path: path, Bytes: bytes, VisibleAt: completeAt, Payload: payload}
+			if done != nil {
+				done(nil)
+			}
 		}
 	})
 }
@@ -66,6 +114,20 @@ func (s *System) Stat(path string) (*File, error) {
 	f, ok := s.files[path]
 	if !ok || f.VisibleAt > s.sim.Now() {
 		return nil, fmt.Errorf("fs(%s): %s does not exist at t=%.1f", s.name, path, s.sim.Now())
+	}
+	return f, nil
+}
+
+// VerifySize stats a file and checks its size against what the writer
+// intended — the reader-side guard that turns a silent truncation into a
+// detectable error.
+func (s *System) VerifySize(path string, wantBytes float64) (*File, error) {
+	f, err := s.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if f.Bytes != wantBytes {
+		return nil, fmt.Errorf("fs(%s): %s truncated: %.0f of %.0f bytes", s.name, path, f.Bytes, wantBytes)
 	}
 	return f, nil
 }

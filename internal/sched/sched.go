@@ -3,15 +3,30 @@
 // small-job limit), extra queue-wait models for full-machine allocations,
 // and the Bellerophon-derived listener that implements co-scheduling by
 // submitting analysis jobs as output files appear (§3.2).
+//
+// With a fault.Injector attached, jobs can die mid-run (node failure, OOM,
+// wall-limit kill) and are resubmitted under a RetryPolicy with
+// exponential backoff; node-drain windows withhold capacity; the listener
+// loses polls during outage windows. All failure behaviour is strictly
+// additive: a nil injector reproduces the failure-free model exactly.
 package sched
 
 import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/platform"
 )
+
+// Attempt records one execution attempt of a job that was started and
+// later died (successful attempts are described by the job's own
+// StartTime/EndTime).
+type Attempt struct {
+	// Start and End bound the attempt; End is when the failure struck.
+	Start, End float64
+}
 
 // Job is one batch submission. Duration is known up front because the
 // workflow engine computes phase times from the platform cost models; the
@@ -27,15 +42,63 @@ type Job struct {
 	// be nil). OnComplete commonly writes files or submits follow-ups.
 	OnStart    func(j *Job)
 	OnComplete func(j *Job)
+	// OnGiveUp fires when the job fails and the retry policy is exhausted
+	// (may be nil). OnComplete never fires for such a job.
+	OnGiveUp func(j *Job)
 
 	// Filled by the scheduler.
 	SubmitTime, EligibleTime, StartTime, EndTime float64
 	Started, Completed                           bool
+
+	// Attempt is the current attempt index (0-based); History records the
+	// failed attempts that preceded it. Failed marks a job whose retries
+	// are exhausted.
+	Attempt int
+	History []Attempt
+	Failed  bool
 }
 
 // QueueWait returns how long the job waited beyond its submission
 // (including modelled facility wait).
 func (j *Job) QueueWait() float64 { return j.StartTime - j.SubmitTime }
+
+// RetryPolicy governs resubmission of jobs that die mid-run.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts allowed (first run
+	// included). 0 or 1 means no retries.
+	MaxAttempts int
+	// Backoff is the delay in seconds before the first resubmission;
+	// each further retry multiplies it by BackoffFactor (default 2).
+	Backoff       float64
+	BackoffFactor float64
+	// JitterFrac adds up to this fraction of the backoff, drawn from the
+	// fault injector's seeded RNG so runs stay reproducible.
+	JitterFrac float64
+}
+
+// DefaultRetry is the policy used by the workflow engine when faults are
+// enabled: up to 4 attempts, 30 s initial backoff doubling per retry, 25%
+// jitter.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Backoff: 30, BackoffFactor: 2, JitterFrac: 0.25}
+}
+
+// delay computes the backoff before resubmitting attempt (1-based retry
+// index: attempt 1 is the first resubmission).
+func (p RetryPolicy) delay(inj *fault.Injector, name string, attempt int) float64 {
+	d := p.Backoff
+	factor := p.BackoffFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	for i := 1; i < attempt; i++ {
+		d *= factor
+	}
+	if p.JitterFrac > 0 {
+		d += d * p.JitterFrac * inj.RetryJitter(name, attempt)
+	}
+	return d
+}
 
 // Cluster schedules jobs onto one machine.
 type Cluster struct {
@@ -47,6 +110,10 @@ type Cluster struct {
 	// contention as a function of the job (e.g. "days to a week" for a
 	// full-size off-line allocation, §4.2). nil means none.
 	ExtraQueueWait func(j *Job) float64
+	// Faults optionally injects mid-run job failures; nil means the
+	// failure-free model. Retry governs resubmission of failed jobs.
+	Faults *fault.Injector
+	Retry  RetryPolicy
 
 	freeNodes    int
 	pending      []*Job
@@ -56,6 +123,14 @@ type Cluster struct {
 	// co-scheduling "pile-up in the analysis stack, where many analysis
 	// jobs are queued while others run" (§3.2).
 	MaxPendingSeen int
+
+	// Failure counters (all zero under a nil injector).
+	Attempts        int     // job attempts started
+	FailedAttempts  int     // attempts that died mid-run
+	Resubmits       int     // failed attempts that were resubmitted
+	LostJobs        int     // jobs whose retries were exhausted
+	TimeLost        float64 // execution seconds discarded by failed attempts
+	LostNodeSeconds float64 // node-seconds held by failed attempts (for charging)
 }
 
 // NewCluster creates a cluster with all nodes free.
@@ -66,7 +141,8 @@ func NewCluster(sim *des.Sim, m platform.Machine) (*Cluster, error) {
 	return &Cluster{Sim: sim, Machine: m, freeNodes: m.Nodes}, nil
 }
 
-// FreeNodes reports currently idle nodes.
+// FreeNodes reports currently idle nodes (negative while a drain window
+// overlaps nodes that running jobs still occupy).
 func (c *Cluster) FreeNodes() int { return c.freeNodes }
 
 // Finished returns the completed jobs in completion order.
@@ -75,8 +151,30 @@ func (c *Cluster) Finished() []*Job { return c.finished }
 // Pending reports queued-but-unstarted jobs.
 func (c *Cluster) Pending() int { return len(c.pending) }
 
+// ApplyDrains schedules the injector's node-drain windows: at each window
+// start the drained nodes are withheld from new job starts, and at the end
+// they return to service. Jobs already running keep their nodes.
+func (c *Cluster) ApplyDrains(drains []fault.Drain) {
+	for _, d := range drains {
+		n := d.Nodes
+		if n <= 0 {
+			continue
+		}
+		if n > c.Machine.Nodes {
+			n = c.Machine.Nodes
+		}
+		nodes := n
+		c.Sim.At(d.Start, func() { c.freeNodes -= nodes })
+		c.Sim.At(d.End, func() {
+			c.freeNodes += nodes
+			c.trySchedule()
+		})
+	}
+}
+
 // Submit queues a job. The job becomes eligible after the modelled extra
 // queue wait, then starts when nodes are free and policy admits it.
+// Resubmitting a job (after a failure) resets its per-run state.
 func (c *Cluster) Submit(j *Job) error {
 	if j.Nodes <= 0 || j.Nodes > c.Machine.Nodes {
 		return fmt.Errorf("sched: job %q requests %d nodes on %d-node %s", j.Name, j.Nodes, c.Machine.Nodes, c.Machine.Name)
@@ -84,6 +182,9 @@ func (c *Cluster) Submit(j *Job) error {
 	if j.Duration < 0 {
 		return fmt.Errorf("sched: job %q has negative duration", j.Name)
 	}
+	// Clear any stale state from a previous attempt.
+	j.Started, j.Completed = false, false
+	j.StartTime, j.EndTime = 0, 0
 	j.SubmitTime = c.Sim.Now()
 	wait := 0.0
 	if c.ExtraQueueWait != nil {
@@ -127,22 +228,57 @@ func (c *Cluster) start(j *Job) {
 	if c.isSmall(j) {
 		c.runningSmall++
 	}
+	c.Attempts++
 	if j.OnStart != nil {
 		j.OnStart(j)
 	}
-	c.Sim.After(j.Duration, func() {
-		j.Completed = true
-		j.EndTime = c.Sim.Now()
-		c.freeNodes += j.Nodes
-		if c.isSmall(j) {
-			c.runningSmall--
+	if frac, fails := c.Faults.JobAttempt(j.Name, j.Attempt); fails {
+		c.Sim.After(j.Duration*frac, func() { c.fail(j) })
+		return
+	}
+	c.Sim.After(j.Duration, func() { c.complete(j) })
+}
+
+func (c *Cluster) complete(j *Job) {
+	j.Completed = true
+	j.EndTime = c.Sim.Now()
+	c.freeNodes += j.Nodes
+	if c.isSmall(j) {
+		c.runningSmall--
+	}
+	c.finished = append(c.finished, j)
+	if j.OnComplete != nil {
+		j.OnComplete(j)
+	}
+	c.trySchedule()
+}
+
+// fail ends a mid-run attempt: nodes free, the attempt is recorded, and
+// the job is either resubmitted after backoff or marked permanently
+// failed.
+func (c *Cluster) fail(j *Job) {
+	now := c.Sim.Now()
+	c.freeNodes += j.Nodes
+	if c.isSmall(j) {
+		c.runningSmall--
+	}
+	j.History = append(j.History, Attempt{Start: j.StartTime, End: now})
+	c.FailedAttempts++
+	c.TimeLost += now - j.StartTime
+	c.LostNodeSeconds += float64(j.Nodes) * (now - j.StartTime)
+	j.Attempt++
+	if j.Attempt < c.Retry.MaxAttempts {
+		c.Resubmits++
+		delay := c.Retry.delay(c.Faults, j.Name, j.Attempt)
+		c.Sim.After(delay, func() { _ = c.Submit(j) })
+	} else {
+		j.Failed = true
+		c.LostJobs++
+		if j.OnGiveUp != nil {
+			j.OnGiveUp(j)
 		}
-		c.finished = append(c.finished, j)
-		if j.OnComplete != nil {
-			j.OnComplete(j)
-		}
-		c.trySchedule()
-	})
+	}
+	c.trySchedule()
 }
 
 // Listener is the co-scheduling daemon: it polls a storage tier for new
@@ -166,11 +302,15 @@ type Listener struct {
 	// the timestep of the data and template files"). Returning nil skips
 	// the file.
 	MakeJob func(path string, f *fs.File) *Job
+	// Faults optionally injects listener outage windows; polls inside a
+	// window are lost (counted in MissedPolls).
+	Faults *fault.Injector
 
-	seen      map[string]bool
-	stopped   bool
-	Submitted int
-	Polls     int
+	seen        map[string]bool
+	stopped     bool
+	Submitted   int
+	Polls       int
+	MissedPolls int
 }
 
 // Start begins polling. The listener runs until Stop (the backgrounded
@@ -193,7 +333,8 @@ func (l *Listener) Stop() { l.stopped = true }
 
 // FinalSweep performs one last check, catching files that landed "at the
 // very end of the main application's execution time" (§3.2) — the paper's
-// additional post-job listener instance.
+// additional post-job listener instance. It runs even if the listener was
+// inside an outage window (the facility restarts it for the final pass).
 func (l *Listener) FinalSweep() { l.sweep() }
 
 func (l *Listener) poll() {
@@ -201,10 +342,19 @@ func (l *Listener) poll() {
 		return
 	}
 	l.Polls++
-	l.sweep()
+	if l.Faults.ListenerDown(l.Sim.Now()) {
+		l.MissedPolls++
+	} else {
+		l.sweep()
+	}
 	l.Sim.After(l.PollInterval, l.poll)
 }
 
+// sweep submits an analysis job for every newly visible file. A path is
+// only marked seen once its job was actually submitted (or MakeJob
+// explicitly skipped it) — a Stat or Submit failure leaves the file
+// unmarked so the next poll retries it instead of dropping the analysis
+// silently.
 func (l *Listener) sweep() {
 	if l.seen == nil {
 		l.seen = map[string]bool{}
@@ -213,17 +363,19 @@ func (l *Listener) sweep() {
 		if l.seen[path] {
 			continue
 		}
-		l.seen[path] = true
 		f, err := l.FS.Stat(path)
 		if err != nil {
-			continue
+			continue // retried next poll
 		}
 		job := l.MakeJob(path, f)
 		if job == nil {
+			l.seen[path] = true // explicit skip
 			continue
 		}
-		if err := l.Cluster.Submit(job); err == nil {
-			l.Submitted++
+		if err := l.Cluster.Submit(job); err != nil {
+			continue // retried next poll
 		}
+		l.seen[path] = true
+		l.Submitted++
 	}
 }

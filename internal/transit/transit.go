@@ -14,6 +14,13 @@
 // device is full (the simulation stalls if analysis cannot drain fast
 // enough — the real operational risk of in-transit designs), and consumers
 // block until data arrives. Closing the stage drains remaining items.
+//
+// Failure semantics: items handed to a consumer via Take are tracked
+// in-flight until Ack'd; a consumer that dies mid-item calls Redeliver and
+// the item goes back to the head of the queue for another worker, so a
+// crash loses no data. Abort marks the whole stage failed, unblocking
+// every producer and consumer — the fatal-error path that prevents the
+// simulation from hanging forever against a dead analysis side.
 package transit
 
 import (
@@ -30,11 +37,19 @@ type Item struct {
 	Bytes int64
 	// Payload is the in-memory product, handed over zero-copy.
 	Payload any
+	// Delivery is set by the stage: how many times this item was handed to
+	// a consumer before (0 on first delivery, incremented on redelivery).
+	Delivery int
 }
 
 // ErrClosed is returned by Put after Close and by Get once the stage is
 // closed and drained.
 var ErrClosed = errors.New("transit: stage closed")
+
+// ErrConsumerDied is the error a Consume worker function returns to signal
+// that its (simulated or real) analysis rank crashed mid-item: the item is
+// redelivered to another worker and the dying worker retires.
+var ErrConsumerDied = errors.New("transit: consumer died")
 
 // Stage is a bounded in-memory staging device.
 type Stage struct {
@@ -44,13 +59,16 @@ type Stage struct {
 	capacity int64
 	used     int64
 	queue    []Item
+	inflight map[string]Item
 	closed   bool
+	abortErr error
 
 	// Stats.
-	totalItems int64
-	totalBytes int64
-	peakUsed   int64
-	stallCount int64
+	totalItems  int64
+	totalBytes  int64
+	peakUsed    int64
+	stallCount  int64
+	redelivered int64
 }
 
 // NewStage creates a staging area holding at most capacity bytes.
@@ -58,7 +76,7 @@ func NewStage(capacity int64) (*Stage, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("transit: capacity %d must be positive", capacity)
 	}
-	s := &Stage{capacity: capacity}
+	s := &Stage{capacity: capacity, inflight: map[string]Item{}}
 	s.notFull = sync.NewCond(&s.mu)
 	s.notEmpty = sync.NewCond(&s.mu)
 	return s, nil
@@ -76,16 +94,20 @@ func (s *Stage) Put(item Item) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	stalled := false
-	for !s.closed && s.used+item.Bytes > s.capacity {
+	for s.abortErr == nil && !s.closed && s.used+item.Bytes > s.capacity {
 		if !stalled {
 			s.stallCount++
 			stalled = true
 		}
 		s.notFull.Wait()
 	}
+	if s.abortErr != nil {
+		return s.abortErr
+	}
 	if s.closed {
 		return ErrClosed
 	}
+	item.Delivery = 0
 	s.queue = append(s.queue, item)
 	s.used += item.Bytes
 	s.totalItems++
@@ -97,13 +119,25 @@ func (s *Stage) Put(item Item) error {
 	return nil
 }
 
-// Get removes the oldest staged item, blocking until one is available.
-// After Close, remaining items drain; then Get returns ErrClosed.
-func (s *Stage) Get() (Item, error) {
+// drained reports (holding mu) whether nothing can ever arrive again: the
+// stage is closed, the queue is empty, and no item is in flight (an
+// in-flight item may yet be redelivered).
+func (s *Stage) drained() bool {
+	return s.closed && len(s.queue) == 0 && len(s.inflight) == 0
+}
+
+// Take removes the oldest staged item and records it in-flight until Ack
+// or Redeliver resolves it — the consumer-crash protocol. It blocks until
+// an item is available; after Close it drains remaining (and redelivered)
+// items, then returns ErrClosed. After Abort it returns the abort error.
+func (s *Stage) Take() (Item, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.closed {
+	for len(s.queue) == 0 && !s.drained() && s.abortErr == nil {
 		s.notEmpty.Wait()
+	}
+	if s.abortErr != nil {
+		return Item{}, s.abortErr
 	}
 	if len(s.queue) == 0 {
 		return Item{}, ErrClosed
@@ -111,7 +145,56 @@ func (s *Stage) Get() (Item, error) {
 	item := s.queue[0]
 	s.queue = s.queue[1:]
 	s.used -= item.Bytes
+	s.inflight[item.Key] = item
 	s.notFull.Broadcast()
+	return item, nil
+}
+
+// Ack marks an in-flight item fully processed. Unknown keys are ignored.
+func (s *Stage) Ack(key string) {
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if s.drained() {
+		// Last in-flight item resolved after Close: release consumers
+		// blocked waiting for it in Take.
+		s.notEmpty.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Redeliver returns an in-flight item to the head of the queue — the
+// consumer processing it died mid-item, and another worker must pick it
+// up. The item's Delivery count is incremented. Unknown keys are ignored.
+// Redelivery re-accounts the item's bytes (transiently exceeding capacity
+// is allowed: the data was already resident).
+func (s *Stage) Redeliver(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	item, ok := s.inflight[key]
+	if !ok {
+		return
+	}
+	delete(s.inflight, key)
+	item.Delivery++
+	s.queue = append([]Item{item}, s.queue...)
+	s.used += item.Bytes
+	if s.used > s.peakUsed {
+		s.peakUsed = s.used
+	}
+	s.redelivered++
+	s.notEmpty.Broadcast()
+}
+
+// Get removes the oldest staged item, blocking until one is available.
+// After Close, remaining items drain; then Get returns ErrClosed. Get is
+// Take with an immediate Ack — use Take/Ack/Redeliver for crash-safe
+// consumption.
+func (s *Stage) Get() (Item, error) {
+	item, err := s.Take()
+	if err != nil {
+		return item, err
+	}
+	s.Ack(item.Key)
 	return item, nil
 }
 
@@ -125,6 +208,31 @@ func (s *Stage) Close() {
 	s.mu.Unlock()
 }
 
+// Abort marks the stage failed with err: every pending and future Put,
+// Take and Get returns err immediately. Staged and in-flight items are
+// dropped. The first Abort wins; later calls are no-ops. A nil err aborts
+// with ErrClosed.
+func (s *Stage) Abort(err error) {
+	if err == nil {
+		err = ErrClosed
+	}
+	s.mu.Lock()
+	if s.abortErr == nil {
+		s.abortErr = err
+		s.closed = true
+		s.notFull.Broadcast()
+		s.notEmpty.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the abort error, or nil if the stage was never aborted.
+func (s *Stage) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abortErr
+}
+
 // Stats reports staging counters.
 type Stats struct {
 	// TotalItems and TotalBytes passed through the device.
@@ -134,9 +242,13 @@ type Stats struct {
 	// StallCount counts Put calls that had to wait for space — nonzero
 	// means the producer (the simulation) was throttled by analysis.
 	StallCount int64
-	// Queued and Used describe the current state.
-	Queued int
-	Used   int64
+	// Redelivered counts items returned to the queue after a consumer
+	// died mid-item.
+	Redelivered int64
+	// Queued, InFlight and Used describe the current state.
+	Queued   int
+	InFlight int
+	Used     int64
 }
 
 // Stats returns a snapshot of the device counters.
@@ -144,41 +256,68 @@ func (s *Stage) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		TotalItems: s.totalItems,
-		TotalBytes: s.totalBytes,
-		PeakUsed:   s.peakUsed,
-		StallCount: s.stallCount,
-		Queued:     len(s.queue),
-		Used:       s.used,
+		TotalItems:  s.totalItems,
+		TotalBytes:  s.totalBytes,
+		PeakUsed:    s.peakUsed,
+		StallCount:  s.stallCount,
+		Redelivered: s.redelivered,
+		Queued:      len(s.queue),
+		InFlight:    len(s.inflight),
+		Used:        s.used,
 	}
 }
 
 // Consume runs workers goroutines that drain the stage with fn until it
 // closes, returning the first error (nil on clean drain). It is the
 // analysis-side harness: each worker plays one co-scheduled analysis rank.
+//
+// Failure semantics: a worker whose fn returns (or wraps) ErrConsumerDied
+// redelivers its item to the remaining workers and retires — the rank
+// crashed but the data survives. Any other error is fatal: the stage is
+// aborted so blocked producers and the other workers unblock immediately
+// instead of hanging against a full device, and the error is returned. If
+// every worker dies, Consume aborts the stage (items still staged would
+// otherwise strand producers) and reports it.
 func Consume(s *Stage, workers int, fn func(Item) error) error {
 	if workers <= 0 {
 		return fmt.Errorf("transit: workers %d must be positive", workers)
 	}
 	errs := make([]error, workers)
+	var mu sync.Mutex
+	live := workers
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
 			for {
-				item, err := s.Get()
+				item, err := s.Take()
 				if errors.Is(err, ErrClosed) {
 					return
 				}
 				if err != nil {
-					errs[w] = err
+					// Stage aborted (by another worker or externally).
 					return
 				}
 				if err := fn(item); err != nil {
+					if errors.Is(err, ErrConsumerDied) {
+						s.Redeliver(item.Key)
+						mu.Lock()
+						live--
+						last := live == 0
+						mu.Unlock()
+						if last {
+							dead := fmt.Errorf("transit: all %d workers died: %w", workers, ErrConsumerDied)
+							errs[w] = dead
+							s.Abort(dead)
+						}
+						return
+					}
 					errs[w] = err
+					s.Abort(err)
 					return
 				}
+				s.Ack(item.Key)
 			}
 		}(w)
 	}
