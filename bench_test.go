@@ -24,6 +24,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/dparallel"
 	"repro/internal/fs"
+	"repro/internal/gio"
 	"repro/internal/halo"
 	"repro/internal/ic"
 	"repro/internal/kdtree"
@@ -583,10 +584,10 @@ func BenchmarkCheckpointRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
-		if err := sim.SaveCheckpoint(&buf); err != nil {
+		if err := gio.WriteCheckpoint(&buf, sim); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := nbody.LoadCheckpoint(&buf); err != nil {
+		if _, err := gio.ReadCheckpoint(&buf); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -52,8 +53,9 @@ func main() {
 		analyze  = flag.Int("analyze-every", 0, "run analysis every N steps (0: final step only)")
 		renderPx = flag.Int("render", 0, "write a Figure 2-style density projection PNG of the final step at this pixel size (0: off)")
 		ckptEvry = flag.Int("checkpoint-every", 0, "write full-precision checkpoints every N steps (0: never)")
-		restart  = flag.String("restart", "", "resume from a checkpoint file instead of generating initial conditions")
+		restart  = flag.String("restart-from", "", "resume from a checkpoint file instead of generating initial conditions; the run continues the checkpoint's own schedule and step numbering, bit-identical to an uninterrupted run")
 	)
+	flag.Var(aliasValue{flag.Lookup("restart-from")}, "restart", "deprecated alias for -restart-from")
 	flag.Parse()
 	cfg := runConfig{
 		NP: *np, NG: *ng, Box: *box, ZInit: *zInit, ZFinal: *zFinal,
@@ -70,6 +72,17 @@ func main() {
 		log.Fatal(err)
 	}
 }
+
+// aliasValue forwards a deprecated flag name onto its replacement.
+type aliasValue struct{ target *flag.Flag }
+
+func (a aliasValue) String() string {
+	if a.target == nil {
+		return ""
+	}
+	return a.target.Value.String()
+}
+func (a aliasValue) Set(v string) error { return a.target.Value.Set(v) }
 
 type runConfig struct {
 	NP, NG          int
@@ -159,15 +172,20 @@ func run(cfg runConfig) error {
 	var sim *nbody.Simulation
 	if cfg.Restart != "" {
 		var err error
-		sim, err = nbody.LoadCheckpointFile(cfg.Restart)
+		sim, err = gio.LoadCheckpointFile(cfg.Restart)
 		if err != nil {
 			return fmt.Errorf("restart: %w", err)
 		}
-		// Honour the checkpoint's own geometry and cosmology.
+		// Honour the checkpoint's own geometry, cosmology and schedule:
+		// the restarted run continues the original integration plan so it
+		// is bit-identical to one that never stopped.
 		cfg.Box = sim.Box
 		cfg.NG = sim.NG
+		cfg.Steps = sim.Sched.TotalSteps
+		cfg.Seed = sim.Seed
 		params = sim.Cosmo
-		log.Printf("restarted from %s at z=%.2f (%d particles)", cfg.Restart, sim.Redshift(), sim.P.N())
+		log.Printf("restarted from %s at z=%.2f, step %d/%d (%d particles, IC seed %d)",
+			cfg.Restart, sim.Redshift(), sim.StepIndex, sim.Sched.TotalSteps, sim.P.N(), sim.Seed)
 	} else {
 		log.Printf("generating %d^3 Zel'dovich ICs in a %.1f Mpc/h box at z=%.1f (seed %d)",
 			cfg.NP, cfg.Box, cfg.ZInit, cfg.Seed)
@@ -181,6 +199,12 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
+		sim.Seed = cfg.Seed
+	}
+	// NP for particle-mass purposes: on restart, recover it from the
+	// checkpointed particle count rather than trusting the flag.
+	if cfg.Restart != "" {
+		cfg.NP = int(math.Round(math.Cbrt(float64(sim.P.N()))))
 	}
 
 	// CosmoTools set-up: register the tools, then configure from the
@@ -235,10 +259,8 @@ func run(cfg runConfig) error {
 	}
 
 	mass := params.ParticleMass(cfg.Box, cfg.NP)
-	aEnd := cosmo.ScaleFactor(cfg.ZFinal)
-	log.Printf("evolving to z=%.2f in %d steps (particle mass %.3g Msun/h)", cfg.ZFinal, cfg.Steps, mass)
 	start := time.Now()
-	err := sim.Run(aEnd, cfg.Steps, func(step int) error {
+	cb := func(step int) error {
 		final := step == cfg.Steps
 		if cfg.SnapshotEvery > 0 && step%cfg.SnapshotEvery == 0 {
 			path := filepath.Join(cfg.OutDir, fmt.Sprintf("step%03d.gio", step))
@@ -249,7 +271,7 @@ func run(cfg runConfig) error {
 		}
 		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 			path := filepath.Join(cfg.OutDir, fmt.Sprintf("ckpt%03d.bin", step))
-			if err := sim.SaveCheckpointFile(path); err != nil {
+			if err := gio.SaveCheckpointFile(path, sim); err != nil {
 				return err
 			}
 			log.Printf("step %3d: wrote checkpoint %s", step, path)
@@ -263,7 +285,20 @@ func run(cfg runConfig) error {
 			return err
 		}
 		return writeProducts(cfg.OutDir, step, ctx)
-	})
+	}
+	var err error
+	if cfg.Restart != "" {
+		// Continue the checkpoint's pinned schedule: remaining steps only,
+		// with absolute step numbering so outputs line up with the
+		// original run's.
+		log.Printf("resuming %d remaining steps (particle mass %.3g Msun/h)",
+			sim.Sched.TotalSteps-sim.StepIndex, mass)
+		err = sim.Resume(cb)
+	} else {
+		aEnd := cosmo.ScaleFactor(cfg.ZFinal)
+		log.Printf("evolving to z=%.2f in %d steps (particle mass %.3g Msun/h)", cfg.ZFinal, cfg.Steps, mass)
+		err = sim.Run(aEnd, cfg.Steps, cb)
+	}
 	if err != nil {
 		return err
 	}

@@ -3,9 +3,11 @@
 // in-process. Takes a few seconds.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -np 16 -steps 8   (tiny config, CI smoke test)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,12 +21,17 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	npFlag := flag.Int("np", 32, "particles per dimension")
+	stepsFlag := flag.Int("steps", 40, "particle-mesh steps to z=0")
+	flag.Parse()
 	params := cosmo.Default()
+	var (
+		np    = *npFlag
+		steps = *stepsFlag
+	)
 	const (
-		np    = 32
 		box   = 40.0 // Mpc/h
 		zInit = 50.0
-		steps = 40
 	)
 
 	// 1. Zel'dovich initial conditions from the linear power spectrum.
@@ -59,7 +66,7 @@ func main() {
 	}
 
 	// 4. FOF halo finding with the standard b=0.2 linking length.
-	linking := 0.2 * box / np
+	linking := 0.2 * box / float64(np)
 	cat, err := halo.FOF(sim.P, box, halo.Options{LinkingLength: linking, MinSize: 10, Periodic: true})
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -71,6 +72,11 @@ func Read(r io.Reader) ([]cosmotools.CenterRecord, error) {
 		for a := 0; a < 3; a++ {
 			if rec.Pos[a], err = strconv.ParseFloat(fields[2+a], 64); err != nil {
 				return nil, fmt.Errorf("catalog line %d: position: %w", lineNo, err)
+			}
+			if math.IsNaN(rec.Pos[a]) || math.IsInf(rec.Pos[a], 0) {
+				// A non-finite coordinate is corruption, not data: a halo
+				// center is a particle position inside the box.
+				return nil, fmt.Errorf("catalog line %d: non-finite coordinate %q", lineNo, fields[2+a])
 			}
 		}
 		if rec.Potential, err = strconv.ParseFloat(fields[5], 64); err != nil {

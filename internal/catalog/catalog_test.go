@@ -103,3 +103,69 @@ func TestFileRoundTripAndMerge(t *testing.T) {
 		t.Error("expected read error")
 	}
 }
+
+func TestReadRejectsNonFiniteCoordinates(t *testing.T) {
+	bad := []string{
+		"1 2 NaN 1.0 1.0 -1 5",
+		"1 2 1.0 +Inf 1.0 -1 5",
+		"1 2 1.0 1.0 -Inf -1 5",
+	}
+	for i, line := range bad {
+		if _, err := Read(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("case %d: non-finite coordinate was accepted", i)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("case %d: error %v does not name the non-finite coordinate", i, err)
+		}
+	}
+	// A non-finite potential is physically meaningful garbage the reader
+	// still parses; only positions are gated.
+	if _, err := Read(strings.NewReader("1 2 1.0 1.0 1.0 -Inf 5\n")); err != nil {
+		t.Errorf("potential gating is not this guard's job: %v", err)
+	}
+}
+
+// MergeFiles must be idempotent: merging the merged output (or repeating
+// an input) changes nothing — the property the campaign resume path leans
+// on when analyses are redone after a crash.
+func TestMergeFilesIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.centers")
+	b := filepath.Join(dir, "b.centers")
+	if err := WriteFile(a, sample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(b, []cosmotools.CenterRecord{
+		{HaloTag: 17, MBPTag: 1, Pos: [3]float64{9, 9, 9}, Potential: -1, Count: 843},
+		{HaloTag: 40, MBPTag: 2, Pos: [3]float64{5, 5, 5}, Potential: -2, Count: 77},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	once, err := MergeFiles([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(dir, "merged.centers")
+	if err := WriteFile(merged, once); err != nil {
+		t.Fatal(err)
+	}
+	for i, paths := range [][]string{
+		{a, b, b},        // repeated input
+		{a, b, merged},   // merged output folded back in
+		{merged, merged}, // pure self-merge
+		{merged, a, b},   // order variations with the same winners
+	} {
+		again, err := MergeFiles(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(once) {
+			t.Errorf("case %d: %d records, want %d", i, len(again), len(once))
+			continue
+		}
+		for k := range once {
+			if again[k] != once[k] {
+				t.Errorf("case %d: record %d = %+v, want %+v", i, k, again[k], once[k])
+			}
+		}
+	}
+}

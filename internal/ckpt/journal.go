@@ -1,0 +1,179 @@
+// Package ckpt is the crash-consistency layer of the workflow stack: a
+// write-ahead journal of completed work plus atomic file commits. Long
+// campaigns — "the runs were carried out over a period of days" (§4.1) —
+// outlive any single batch job, so every process in the stack (the
+// simulation, the workflow engine, the co-scheduling listener) must be
+// able to die at an arbitrary instruction and restart without redoing
+// finished work or trusting half-written output.
+//
+// The design is the classic WAL-plus-manifest pair:
+//
+//   - Product files are committed atomically (temp file in the same
+//     directory, fsync, rename, directory fsync). A crash mid-commit
+//     leaves at worst a stale *.tmp file, never a torn final file.
+//   - After a product lands, a journal record (kind, step, path, size,
+//     CRC32) is appended and fsync'd. The journal is the sole authority:
+//     a file without a record is untrusted — a crash may have struck
+//     between write and rename — and is redone on resume.
+//   - Each journal record carries its own CRC32 frame, so a crash
+//     mid-append leaves a torn tail that replay detects and truncates
+//     instead of failing wholesale.
+//
+// Replay therefore converges: any prefix of the journal is a valid
+// recovery point, and re-running from it produces byte-identical
+// products (the work generators are deterministic in the step index).
+package ckpt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record kinds written by the campaign engine and the listener. Packages
+// are free to journal their own kinds; the manifest only interprets these.
+const (
+	// KindMeta identifies the campaign (scenario name, timesteps, seeds);
+	// resuming under different parameters is refused.
+	KindMeta = "meta"
+	// KindRun marks one process incarnation; the count of run records is
+	// the campaign's generation (how many times it has been started).
+	KindRun = "run"
+	// KindStep records a committed per-step simulation product (the
+	// Level 2 file): the step is durably done.
+	KindStep = "step"
+	// KindPost records a completed per-step analysis job and its catalog.
+	KindPost = "post"
+	// KindMerge records a committed merged catalog.
+	KindMerge = "merge"
+	// KindSeen records a path the listener has already submitted for
+	// analysis (cmd/listener -state).
+	KindSeen = "seen"
+)
+
+// Record is one journal entry. Fields beyond Kind are optional and
+// kind-dependent.
+type Record struct {
+	Kind string `json:"kind"`
+	// Step is the 1-based timestep a step/post record covers.
+	Step int `json:"step,omitempty"`
+	// Name carries free-form identity (job name, scenario name).
+	Name string `json:"name,omitempty"`
+	// Path, Bytes and CRC describe a committed file (path relative to the
+	// journal's directory).
+	Path  string `json:"path,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+	CRC   uint32 `json:"crc,omitempty"`
+	// Timesteps, Seed and FaultSeed pin campaign parameters (meta records).
+	Timesteps int   `json:"timesteps,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
+// Journal is an append-only, fsync'd record log. It is not safe for
+// concurrent use; the workflow engine appends from a single goroutine.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// frame serializes a record as one self-checking line:
+//
+//	<json payload> <crc32-of-payload-hex>\n
+func frame(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: marshal record: %w", err)
+	}
+	line := fmt.Sprintf("%s %08x\n", payload, crc32.ChecksumIEEE(payload))
+	return []byte(line), nil
+}
+
+// parseLine validates one framed line, returning ok=false for a torn or
+// corrupt frame.
+func parseLine(line string) (Record, bool) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return Record{}, false
+	}
+	payload, crcHex := line[:i], line[i+1:]
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil || len(crcHex) != 8 {
+		return Record{}, false
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
+		return Record{}, false
+	}
+	var r Record
+	if err := json.Unmarshal([]byte(payload), &r); err != nil {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// Open replays the journal at path (creating it if absent) and reopens it
+// for appending. The returned records are the valid prefix; a torn or
+// corrupt tail — the signature of a crash mid-append — is truncated away
+// so subsequent appends start from a consistent point.
+func Open(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ckpt: open journal: %w", err)
+	}
+	var records []Record
+	valid := int64(0)
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			// A final line without newline is a torn append: drop it.
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ckpt: read journal: %w", err)
+		}
+		r, ok := parseLine(strings.TrimSuffix(line, "\n"))
+		if !ok {
+			break // torn/corrupt record: everything after is untrusted
+		}
+		records = append(records, r)
+		valid += int64(len(line))
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ckpt: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("ckpt: seek journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, records, nil
+}
+
+// Append durably writes one record: the entry is fsync'd before Append
+// returns, so a record that was observed written survives any later crash.
+func (j *Journal) Append(r Record) error {
+	line, err := frame(r)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("ckpt: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync: %w", err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

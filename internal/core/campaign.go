@@ -36,18 +36,61 @@ type CampaignReport struct {
 	// Resilience accounts failures and recoveries when the scenario has a
 	// fault profile (all zero otherwise).
 	Resilience Resilience
+	// Resume accounts checkpoint/restart activity when the campaign ran
+	// through ResumableCampaign (all zero on a fresh, uncrashed run, so a
+	// persisted campaign's report stays comparable to Campaign's).
+	Resume ResumeStats
+}
+
+// l2Path is the modelled storage path of one step's Level 2 file (also the
+// relative on-disk product path under a persisted campaign's directory).
+func l2Path(step int) string { return fmt.Sprintf("l2/step%03d.gio", step) }
+
+// campaignHooks threads checkpoint/restart behaviour through the campaign
+// engine without disturbing its event sequence: every hook fires
+// synchronously inside an existing callback and schedules no virtual-time
+// events, so a hooked run is event-for-event identical to a bare Campaign.
+type campaignHooks struct {
+	// startStep is the first step the simulation emits (resume skips the
+	// journaled prefix); 0 or 1 means a full run.
+	startStep int
+	// preloadSteps lists steps whose Level 2 files survived a previous
+	// incarnation and are restored into the modelled storage at t=0.
+	preloadSteps []int
+	// preSeenSteps lists steps whose analysis already completed; the
+	// listener skips them. Preloaded steps *not* listed here are requeued.
+	preSeenSteps []int
+	// onStepLanded fires when a step's Level 2 write verifies intact;
+	// onPostDone when a step's analysis job completes.
+	onStepLanded func(step int)
+	onPostDone   func(step int)
+	// runUntil, when positive, stops the virtual clock at that time — the
+	// injected process-crash point. runCampaign reports crashed=true if
+	// events were still pending.
+	runUntil float64
 }
 
 // Campaign runs a co-scheduled combined-workflow campaign over the given
 // number of timesteps on the discrete-event clock, with analysis jobs
 // auto-submitted by the listener as each step's Level 2 file lands.
 func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
+	rep, _, err := runCampaign(s, timesteps, campaignHooks{})
+	return rep, err
+}
+
+// runCampaign is the campaign engine shared by Campaign (no hooks) and
+// ResumableCampaign (persistence and crash injection via hooks).
+func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, bool, error) {
 	if timesteps <= 0 {
-		return nil, fmt.Errorf("core: campaign needs timesteps > 0")
+		return nil, false, fmt.Errorf("core: campaign needs timesteps > 0")
+	}
+	start := h.startStep
+	if start < 1 {
+		start = 1
 	}
 	ph, err := computePhases(s)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	perStepPost := ph.l2Read + ph.l2Redist + ph.postCenter + ph.l3Write
 	stepDur := s.StepInterval + ph.fof + ph.centerSmallMax + ph.l2Write + ph.l3Write
@@ -56,14 +99,17 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 	inj := s.injector()
 	storage := fs.New(&sim, "lustre")
 	storage.SetFaults(inj)
+	for _, step := range h.preloadSteps {
+		storage.Restore(l2Path(step), ph.levels.Level2Bytes)
+	}
 	simCluster, err := sched.NewCluster(&sim, s.Machine)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	faultCluster(simCluster, inj, s.retry())
 	postCluster, err := sched.NewCluster(&sim, s.PostMachine)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	faultCluster(postCluster, inj, s.retry())
 	rep := &CampaignReport{Timesteps: timesteps}
@@ -78,26 +124,43 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 			seq++
 			j := &sched.Job{Name: fmt.Sprintf("post-%03d", seq), Nodes: s.PostNodes, Duration: perStepPost}
 			j.OnStart = func(j *sched.Job) { jobStarts = append(jobStarts, j.StartTime) }
+			if h.onPostDone != nil {
+				var step int
+				if _, err := fmt.Sscanf(path, "l2/step%d.gio", &step); err == nil {
+					j.OnComplete = func(*sched.Job) { h.onPostDone(step) }
+				}
+			}
 			return j
 		},
 	}
 	if err := listener.Start(); err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	for _, step := range h.preSeenSteps {
+		listener.MarkSeen(l2Path(step))
+	}
+	remaining := timesteps - start + 1
+	if remaining < 0 {
+		remaining = 0
 	}
 	simJob := &sched.Job{
 		Name: "sim", Nodes: s.SimNodes,
-		Duration: float64(timesteps) * stepDur,
+		Duration: float64(remaining) * stepDur,
 		OnStart: func(j *sched.Job) {
 			attempt := j.Attempt
-			for step := 1; step <= timesteps; step++ {
-				at := j.StartTime + float64(step)*stepDur
+			for step := start; step <= timesteps; step++ {
+				at := j.StartTime + float64(step-start+1)*stepDur
 				step := step
 				sim.At(at, func() {
 					if j.Attempt != attempt {
 						return // this attempt failed before reaching the step
 					}
 					redriveWrite(&sim, storage, &rep.Resilience,
-						fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, writeRedriveDelay, 0)
+						l2Path(step), ph.levels.Level2Bytes, writeRedriveDelay, 0, func() {
+							if h.onStepLanded != nil {
+								h.onStepLanded(step)
+							}
+						})
 				})
 			}
 		},
@@ -110,9 +173,16 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 		},
 	}
 	if err := simCluster.Submit(simJob); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	sim.Run()
+	if h.runUntil > 0 {
+		sim.RunUntil(h.runUntil)
+		if sim.Pending() > 0 {
+			return rep, true, nil // the injected crash struck mid-campaign
+		}
+	} else {
+		sim.Run()
+	}
 	rep.Resilience.addCluster(simCluster)
 	rep.Resilience.addCluster(postCluster)
 	rep.Resilience.addFS(storage)
@@ -131,5 +201,5 @@ func Campaign(s *Scenario, timesteps int) (*CampaignReport, error) {
 	}
 	rep.TrailingSeconds = rep.TotalWallClock - rep.SimWallClock
 	rep.SimpleWallClock = rep.SimWallClock + float64(timesteps)*perStepPost
-	return rep, nil
+	return rep, false, nil
 }

@@ -170,11 +170,16 @@ const writeRedriveDelay = 5.0
 // redriveWrite performs one Level 1/Level 2 write, verifies the landed
 // size against the writer's intent, and re-drives the write after delay
 // seconds when it failed outright or landed silently truncated — the
-// workflow engine's recovery loop for storage faults.
-func redriveWrite(sim *des.Sim, storage *fs.System, res *Resilience, path string, bytes, delay float64, attempt int) {
+// workflow engine's recovery loop for storage faults. landed (may be nil)
+// fires once the file is verified intact; the resumable campaign hangs its
+// durable commit off it.
+func redriveWrite(sim *des.Sim, storage *fs.System, res *Resilience, path string, bytes, delay float64, attempt int, landed func()) {
 	storage.WriteChecked(path, bytes, 0, nil, func(err error) {
 		if err == nil {
 			if _, verr := storage.VerifySize(path, bytes); verr == nil {
+				if landed != nil {
+					landed()
+				}
 				return // landed intact
 			}
 			storage.Delete(path) // truncated: drop the short file
@@ -184,7 +189,7 @@ func redriveWrite(sim *des.Sim, storage *fs.System, res *Resilience, path string
 		}
 		res.WritesRedriven++
 		sim.After(delay, func() {
-			redriveWrite(sim, storage, res, path, bytes, delay, attempt+1)
+			redriveWrite(sim, storage, res, path, bytes, delay, attempt+1, landed)
 		})
 	})
 }
@@ -389,7 +394,7 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 						return // this attempt failed before reaching the step
 					}
 					redriveWrite(&sim, storage, &r.Resilience,
-						fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, writeRedriveDelay, 0)
+						fmt.Sprintf("l2/step%03d.gio", step), ph.levels.Level2Bytes, writeRedriveDelay, 0, nil)
 				})
 			}
 		},

@@ -32,6 +32,24 @@ type Window struct {
 // Contains reports whether t falls inside the window.
 func (w Window) Contains(t float64) bool { return t >= w.Start && t < w.End }
 
+// Crash kills the whole campaign process — the recovery problem PR 1's
+// per-operation faults cannot express: a batch job hits its walltime limit
+// or a node dies, and everything in flight (the engine, its listener, a
+// half-written product) vanishes at once. Exactly one trigger is set:
+//
+//   - AtTime kills the run when the virtual clock reaches that second;
+//     events scheduled later never execute.
+//   - AtStep kills the run at the instant step AtStep's Level 2 commit
+//     begins, leaving a torn file at the final path (the worst case a
+//     non-atomic writer can produce) with no journal record.
+type Crash struct {
+	AtTime float64
+	AtStep int
+}
+
+// Armed reports whether the crash has a trigger.
+func (c Crash) Armed() bool { return c.AtTime > 0 || c.AtStep > 0 }
+
 // Drain marks a window during which Nodes nodes of a cluster are held out
 // of service (drained for maintenance or down after a hardware fault).
 // Jobs already running on drained nodes keep running — the capacity is
@@ -60,8 +78,8 @@ type Profile struct {
 	// silently truncated to a TruncateFrac fraction of its bytes (default
 	// [0.1, 0.9] when both are zero); only a reader that verifies the
 	// expected size notices.
-	WriteFailProb                  float64
-	WriteTruncateProb              float64
+	WriteFailProb                    float64
+	WriteTruncateProb                float64
 	TruncateFracMin, TruncateFracMax float64
 
 	// ListenerOutages are windows during which the co-scheduling listener
@@ -75,12 +93,20 @@ type Profile struct {
 
 	// NodeDrains withhold cluster capacity during windows.
 	NodeDrains []Drain
+
+	// Crashes schedules one process death per campaign generation: the
+	// g-th execution of a resumable campaign (0-based, counted across
+	// resumes) dies at Crashes[g]; generations past the end of the list
+	// run to completion. A crash/resume/crash/resume torn-run schedule is
+	// simply a list of two crashes.
+	Crashes []Crash
 }
 
 // Enabled reports whether the profile can inject any fault at all.
 func (p Profile) Enabled() bool {
 	return p.JobFailureProb > 0 || p.WriteFailProb > 0 || p.WriteTruncateProb > 0 ||
-		p.ConsumerAbortProb > 0 || len(p.ListenerOutages) > 0 || len(p.NodeDrains) > 0
+		p.ConsumerAbortProb > 0 || len(p.ListenerOutages) > 0 || len(p.NodeDrains) > 0 ||
+		len(p.Crashes) > 0
 }
 
 // WriteOutcome classifies one file-system write attempt.
@@ -206,6 +232,17 @@ func (in *Injector) ConsumerAbort(key string, delivery int) bool {
 		return false
 	}
 	return in.rng("consume", key, delivery).Float64() < in.p.ConsumerAbortProb
+}
+
+// CrashFor returns the process-crash scheduled for the given campaign
+// generation (0-based), if any. Crashes are positional, not random: the
+// torn-run property tests need exact, repeatable kill points.
+func (in *Injector) CrashFor(generation int) (Crash, bool) {
+	if in == nil || generation < 0 || generation >= len(in.p.Crashes) {
+		return Crash{}, false
+	}
+	c := in.p.Crashes[generation]
+	return c, c.Armed()
 }
 
 // NodeDrains returns the profile's drain windows (nil for a nil injector).

@@ -161,3 +161,28 @@ func TestWindowsAndDrains(t *testing.T) {
 		t.Errorf("drains = %v", d)
 	}
 }
+
+func TestCrashSchedule(t *testing.T) {
+	in := New(Profile{Crashes: []Crash{{AtTime: 500}, {AtStep: 3}, {}}})
+	if !in.Profile().Enabled() {
+		t.Error("crash-only profile not enabled")
+	}
+	c, ok := in.CrashFor(0)
+	if !ok || c.AtTime != 500 {
+		t.Errorf("generation 0: %+v, %v", c, ok)
+	}
+	c, ok = in.CrashFor(1)
+	if !ok || c.AtStep != 3 {
+		t.Errorf("generation 1: %+v, %v", c, ok)
+	}
+	// An unarmed entry and generations past the list run to completion.
+	if _, ok := in.CrashFor(2); ok {
+		t.Error("unarmed crash reported armed")
+	}
+	if _, ok := in.CrashFor(3); ok {
+		t.Error("generation past schedule crashes")
+	}
+	if _, ok := (*Injector)(nil).CrashFor(0); ok {
+		t.Error("nil injector crashes")
+	}
+}

@@ -171,3 +171,11 @@ func (s *System) TotalBytes(prefix string) float64 {
 
 // Delete removes a file immediately (no-op when absent).
 func (s *System) Delete(path string) { delete(s.files, path) }
+
+// Restore places a file on the tier, visible from t=0 — the campaign
+// resume path re-populating the modelled storage with products that
+// survived a previous incarnation (they physically exist, so the restarted
+// run must see them without re-paying the write).
+func (s *System) Restore(path string, bytes float64) {
+	s.files[path] = &File{Path: path, Bytes: bytes, VisibleAt: 0}
+}

@@ -1,0 +1,197 @@
+package gio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/nbody"
+)
+
+func randomSim(t *testing.T, seed int64) *nbody.Simulation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := nbody.NewParticles(0)
+	for i := 0; i < 200; i++ {
+		p.Append(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20,
+			rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), int64(i*3))
+	}
+	s, err := nbody.NewSimulation(cosmo.Default(), 20, 16, p, 0.37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seed = seed
+	return s
+}
+
+func TestCheckpointRoundTripExact(t *testing.T) {
+	s := randomSim(t, 1)
+	s.Sched = nbody.Schedule{A0: 0.37, AEnd: 1.0, TotalSteps: 9}
+	s.StepIndex = 4
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.A != s.A || got.Box != s.Box || got.NG != s.NG {
+		t.Errorf("header mismatch: %v/%v/%v", got.A, got.Box, got.NG)
+	}
+	if got.Cosmo != s.Cosmo {
+		t.Errorf("cosmology mismatch: %+v", got.Cosmo)
+	}
+	if got.Sched != s.Sched || got.StepIndex != s.StepIndex || got.Seed != s.Seed {
+		t.Errorf("schedule state mismatch: %+v step %d seed %d", got.Sched, got.StepIndex, got.Seed)
+	}
+	if got.P.N() != s.P.N() {
+		t.Fatalf("N = %d", got.P.N())
+	}
+	for i := 0; i < s.P.N(); i++ {
+		if got.P.X[i] != s.P.X[i] || got.P.VZ[i] != s.P.VZ[i] || got.P.Tag[i] != s.P.Tag[i] {
+			t.Fatalf("particle %d not bit-identical", i)
+		}
+	}
+}
+
+// The tentpole property: run 0→N equals run 0→k + restart k→N,
+// bit-for-bit. The schedule is pinned in the checkpoint, so the restarted
+// run derives the exact same step size and lands on the same scale-factor
+// boundaries.
+func TestCheckpointRestartBitIdentical(t *testing.T) {
+	const total = 8
+	const ckptAt = 3
+
+	// Uninterrupted run.
+	full := randomSim(t, 2)
+	if err := full.Run(0.9, total, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint at step ckptAt, then restart and resume.
+	var buf bytes.Buffer
+	first := randomSim(t, 2)
+	err := first.Run(0.9, total, func(step int) error {
+		if step == ckptAt {
+			return WriteCheckpoint(&buf, first)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.StepIndex != ckptAt {
+		t.Fatalf("restored step index %d, want %d", restored.StepIndex, ckptAt)
+	}
+	var resumedSteps []int
+	if err := restored.Resume(func(step int) error {
+		resumedSteps = append(resumedSteps, step)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Step numbering continues where the original left off.
+	if len(resumedSteps) != total-ckptAt || resumedSteps[0] != ckptAt+1 || resumedSteps[len(resumedSteps)-1] != total {
+		t.Fatalf("resumed steps %v", resumedSteps)
+	}
+	if restored.A != full.A {
+		t.Fatalf("scale factor diverged: %v != %v", restored.A, full.A)
+	}
+	for i := 0; i < full.P.N(); i++ {
+		if restored.P.X[i] != full.P.X[i] || restored.P.Y[i] != full.P.Y[i] || restored.P.Z[i] != full.P.Z[i] ||
+			restored.P.VX[i] != full.P.VX[i] || restored.P.VY[i] != full.P.VY[i] || restored.P.VZ[i] != full.P.VZ[i] {
+			t.Fatalf("restart not bit-identical at particle %d", i)
+		}
+	}
+
+	// And the checkpoints the two runs would write at the end are
+	// byte-identical too.
+	var a, b bytes.Buffer
+	if err := WriteCheckpoint(&a, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(&b, restored); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("final checkpoints differ between interrupted and uninterrupted runs")
+	}
+}
+
+// Resume on a completed schedule is a no-op, not an error.
+func TestResumeCompletedSchedule(t *testing.T) {
+	s := randomSim(t, 6)
+	if err := s.Run(0.5, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := s.Resume(func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("resume of a finished schedule ran steps")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	s := randomSim(t, 3)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-10] ^= 0x01
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Error("expected checksum error")
+	}
+}
+
+func TestCheckpointRejectsBadMagic(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("NOTACKPT1234"))); err == nil {
+		t.Error("expected magic error")
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	s := randomSim(t, 4)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadCheckpoint(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	s := randomSim(t, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := SaveCheckpointFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P.N() != s.P.N() || got.A != s.A {
+		t.Errorf("file round trip mismatch")
+	}
+	// Atomic save leaves no temp droppings.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("stray files after save: %v", entries)
+	}
+	if _, err := LoadCheckpointFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected missing-file error")
+	}
+}

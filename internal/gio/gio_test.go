@@ -2,8 +2,10 @@ package gio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -238,5 +240,118 @@ func TestReadHeaderErrorPaths(t *testing.T) {
 	bad[8] = 99
 	if _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("expected version error")
+	}
+}
+
+func TestWideRoundTripBitExact(t *testing.T) {
+	blocks := []Block{
+		{Rank: 0, Particles: randParticles(80, 11)},
+		{Rank: 2, Particles: randParticles(17, 12)},
+	}
+	var buf bytes.Buffer
+	if err := WriteWide(&buf, blocks); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := len(Magic) + 8 + 2*(4+8+4) + (80+17)*WideRecordSize
+	if buf.Len() != wantLen {
+		t.Errorf("wide stream length = %d, want %d", buf.Len(), wantLen)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range got {
+		want := blocks[bi].Particles
+		for i := 0; i < b.Particles.N(); i++ {
+			// float64 storage: bit-exact round trip.
+			if b.Particles.X[i] != want.X[i] || b.Particles.VX[i] != want.VX[i] ||
+				b.Particles.VZ[i] != want.VZ[i] || b.Particles.Tag[i] != want.Tag[i] {
+				t.Fatalf("wide block %d particle %d not bit-identical", bi, i)
+			}
+		}
+	}
+}
+
+func TestTypedSentinelErrors(t *testing.T) {
+	var buf bytes.Buffer
+	blocks := []Block{{Rank: 0, Particles: randParticles(40, 21)}}
+	if err := Write(&buf, blocks); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Torn file: drop the tail.
+	_, err := Read(bytes.NewReader(data[:len(data)-30]))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("torn file error = %v, want ErrTruncated", err)
+	}
+
+	// Corrupt payload: flip a byte past the headers.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0x40
+	_, err = Read(bytes.NewReader(bad))
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupt file error = %v, want ErrChecksum", err)
+	}
+
+	// Intact file: no error.
+	if _, err := Read(bytes.NewReader(data)); err != nil {
+		t.Errorf("intact file error = %v", err)
+	}
+}
+
+func TestReadSalvage(t *testing.T) {
+	blocks := []Block{
+		{Rank: 0, Particles: randParticles(30, 31)},
+		{Rank: 1, Particles: randParticles(30, 32)},
+		{Rank: 2, Particles: randParticles(30, 33)},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, blocks); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	blockBytes := 4 + 8 + 4 + 30*RecordSize
+
+	// Tear the file inside block 2: blocks 0 and 1 must be salvaged.
+	torn := data[:len(data)-blockBytes/2]
+	got, err := ReadSalvage(bytes.NewReader(torn))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("salvage error = %v, want ErrTruncated", err)
+	}
+	if len(got) != 2 || got[0].Rank != 0 || got[1].Rank != 1 {
+		t.Fatalf("salvaged %d blocks", len(got))
+	}
+	for i := 0; i < 30; i++ {
+		if float32(got[1].Particles.X[i]) != float32(blocks[1].Particles.X[i]) {
+			t.Fatalf("salvaged block data corrupt at %d", i)
+		}
+	}
+
+	// Corrupt the middle block: only block 0 survives.
+	bad := append([]byte(nil), data...)
+	bad[len(Magic)+8+blockBytes+blockBytes-3] ^= 0x10
+	got, err = ReadSalvage(bytes.NewReader(bad))
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("salvage corrupt error = %v, want ErrChecksum", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("salvaged %d blocks from corrupt file, want 1", len(got))
+	}
+
+	// A clean file salvages everything with no error.
+	got, err = ReadSalvage(bytes.NewReader(data))
+	if err != nil || len(got) != 3 {
+		t.Fatalf("clean salvage: %d blocks, %v", len(got), err)
+	}
+
+	// File variant.
+	path := filepath.Join(t.TempDir(), "torn.gio")
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadSalvageFile(path)
+	if !errors.Is(err, ErrTruncated) || len(got) != 2 {
+		t.Fatalf("salvage file: %d blocks, %v", len(got), err)
 	}
 }

@@ -32,6 +32,17 @@ type Simulation struct {
 	// A is the current scale factor.
 	A float64
 
+	// Sched pins the integration plan of the current Run and StepIndex the
+	// progress through it, so a checkpointed simulation resumes on exactly
+	// the same step boundaries (see Schedule). Seed records the RNG seed
+	// the initial conditions were drawn from: the generator's state is
+	// fully consumed into the particle data by IC generation, so the seed
+	// plus the particle arrays are the complete random state a restart
+	// needs (checkpoints carry both).
+	Sched     Schedule
+	StepIndex int
+	Seed      int64
+
 	// scratch
 	rho          *grid.Scalar
 	phi          *grid.Scalar
@@ -178,24 +189,68 @@ func (s *Simulation) Step(da float64) error {
 	return nil
 }
 
+// Schedule is the integration plan of one Run: the scale-factor interval
+// and total step count. The step size is always derived as
+// (AEnd-A0)/TotalSteps from these pinned endpoints — never from the
+// current scale factor — so a run restarted from a checkpoint takes
+// bit-identical steps to the uninterrupted original: run 0→N equals
+// run 0→k plus restart k→N exactly, down to the last ulp.
+type Schedule struct {
+	// A0 and AEnd bound the integration in scale factor.
+	A0, AEnd float64
+	// TotalSteps is the number of equal steps covering [A0, AEnd].
+	TotalSteps int
+}
+
+// Validate reports schedule construction errors.
+func (sc Schedule) Validate() error {
+	if sc.TotalSteps <= 0 {
+		return fmt.Errorf("nbody: schedule steps %d must be positive", sc.TotalSteps)
+	}
+	if sc.AEnd <= sc.A0 {
+		return fmt.Errorf("nbody: schedule aEnd=%g must exceed a0=%g", sc.AEnd, sc.A0)
+	}
+	return nil
+}
+
 // Run advances from the current scale factor to aEnd in nSteps equal steps,
 // invoking cb (if non-nil) after every step with the 1-based step number.
 // cb is the hook CosmoTools attaches to: it is called inside the main
-// physics loop exactly as the paper's in-situ framework is (§3.1).
+// physics loop exactly as the paper's in-situ framework is (§3.1). Run
+// pins the schedule and resets step progress; a simulation loaded from a
+// checkpoint continues its original schedule with Resume instead.
 func (s *Simulation) Run(aEnd float64, nSteps int, cb func(step int) error) error {
-	if nSteps <= 0 {
-		return fmt.Errorf("nbody: nSteps=%d must be positive", nSteps)
+	s.Sched = Schedule{A0: s.A, AEnd: aEnd, TotalSteps: nSteps}
+	s.StepIndex = 0
+	return s.resume(cb)
+}
+
+// Resume continues the pinned schedule from the current StepIndex — the
+// restart path for checkpointed runs. cb receives absolute step numbers
+// (StepIndex+1 .. TotalSteps), so per-step output naming continues where
+// the original run left off.
+func (s *Simulation) Resume(cb func(step int) error) error {
+	if err := s.Sched.Validate(); err != nil {
+		return err
 	}
-	if aEnd <= s.A {
-		return fmt.Errorf("nbody: aEnd=%g must exceed current a=%g", aEnd, s.A)
+	if s.StepIndex >= s.Sched.TotalSteps {
+		return nil // schedule already complete
 	}
-	da := (aEnd - s.A) / float64(nSteps)
-	for step := 1; step <= nSteps; step++ {
+	return s.resume(cb)
+}
+
+func (s *Simulation) resume(cb func(step int) error) error {
+	if err := s.Sched.Validate(); err != nil {
+		return err
+	}
+	da := (s.Sched.AEnd - s.Sched.A0) / float64(s.Sched.TotalSteps)
+	for s.StepIndex < s.Sched.TotalSteps {
 		if err := s.Step(da); err != nil {
 			return err
 		}
+		s.StepIndex++
 		if cb != nil {
-			if err := cb(step); err != nil {
+			if err := cb(s.StepIndex); err != nil {
 				return err
 			}
 		}

@@ -323,13 +323,27 @@ func (l *Listener) Start() error {
 	if l.MakeJob == nil {
 		return fmt.Errorf("sched: listener needs a MakeJob template")
 	}
-	l.seen = map[string]bool{}
+	if l.seen == nil {
+		l.seen = map[string]bool{}
+	}
 	l.Sim.After(l.PollInterval, l.poll)
 	return nil
 }
 
 // Stop halts polling after the current tick.
 func (l *Listener) Stop() { l.stopped = true }
+
+// MarkSeen records a path as already submitted, so polling skips it. The
+// campaign resume path uses this to pre-load journaled state: files whose
+// analysis completed in a previous incarnation must not be re-analyzed,
+// while surviving files *without* a completion record are left unmarked and
+// get requeued on the first sweep.
+func (l *Listener) MarkSeen(path string) {
+	if l.seen == nil {
+		l.seen = map[string]bool{}
+	}
+	l.seen[path] = true
+}
 
 // FinalSweep performs one last check, catching files that landed "at the
 // very end of the main application's execution time" (§3.2) — the paper's
