@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/center"
+	"repro/internal/ckpt"
 	"repro/internal/cosmo"
 	"repro/internal/cosmotools"
 	"repro/internal/gio"
@@ -146,16 +148,13 @@ func run(inPath, outPath string, box float64, np int, cfgPath, mode string) erro
 	}
 	log.Printf("analysis took %.2fs", time.Since(start).Seconds())
 
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(f, "# halo_tag mbp_tag x y z potential count")
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "# halo_tag mbp_tag x y z potential count")
 	for _, c := range centers {
-		fmt.Fprintf(f, "%d %d %.6f %.6f %.6f %.6g %d\n",
+		fmt.Fprintf(&buf, "%d %d %.6f %.6f %.6f %.6g %d\n",
 			c.HaloTag, c.MBPTag, c.Pos[0], c.Pos[1], c.Pos[2], c.Potential, c.Count)
 	}
-	if err := f.Close(); err != nil {
+	if err := ckpt.WriteFileAtomic(outPath, buf.Bytes()); err != nil {
 		return err
 	}
 	log.Printf("wrote %d centers to %s", len(centers), outPath)

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cosmo"
 	"repro/internal/cosmotools"
 	"repro/internal/gio"
@@ -304,15 +306,11 @@ func run(cfg runConfig) error {
 	}
 	if cfg.RenderPixels > 0 {
 		path := filepath.Join(cfg.OutDir, "final.png")
-		f, err := os.Create(path)
-		if err != nil {
+		var png bytes.Buffer
+		if err := render.WritePNG(&png, sim.P, cfg.Box, render.Options{Pixels: cfg.RenderPixels, Axis: 2, Gamma: 0.8}); err != nil {
 			return err
 		}
-		err = render.WritePNG(f, sim.P, cfg.Box, render.Options{Pixels: cfg.RenderPixels, Axis: 2, Gamma: 0.8})
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := ckpt.WriteFileAtomic(path, png.Bytes()); err != nil {
 			return err
 		}
 		log.Printf("wrote density projection to %s", path)
@@ -337,20 +335,20 @@ func writeProducts(outDir string, step int, ctx *cosmotools.Context) error {
 	if centersAny, ok := ctx.Outputs["halofinder/centers"]; ok {
 		centers := centersAny.([]cosmotools.CenterRecord)
 		path := filepath.Join(outDir, fmt.Sprintf("step%03d.centers", step))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(f, "# halo_tag mbp_tag x y z potential count")
+		var buf bytes.Buffer
+		fmt.Fprintln(&buf, "# halo_tag mbp_tag x y z potential count")
 		for _, c := range centers {
-			fmt.Fprintf(f, "%d %d %.6f %.6f %.6f %.6g %d\n",
+			fmt.Fprintf(&buf, "%d %d %.6f %.6f %.6f %.6g %d\n",
 				c.HaloTag, c.MBPTag, c.Pos[0], c.Pos[1], c.Pos[2], c.Potential, c.Count)
 		}
-		if err := f.Close(); err != nil {
+		if err := ckpt.WriteFileAtomic(path, buf.Bytes()); err != nil {
 			return err
 		}
 		log.Printf("step %3d: wrote %d Level 3 centers to %s", step, len(centers), path)
 	}
+	// The marker must appear only after the products above are durable —
+	// the listener treats it (and the .l2.gio itself) as a submission
+	// trigger, so it gets the same atomic commit.
 	marker := filepath.Join(outDir, fmt.Sprintf("step%03d.done", step))
-	return os.WriteFile(marker, []byte(fmt.Sprintf("%d\n", step)), 0o644)
+	return ckpt.WriteFileAtomic(marker, []byte(fmt.Sprintf("%d\n", step)))
 }

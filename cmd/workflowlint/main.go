@@ -1,0 +1,233 @@
+// Command workflowlint is the multichecker for the repository's custom
+// static analyzers (internal/lint): nondeterminism, atomicwrite,
+// closecheck, lockdiscipline, sentinelwrap — the workflow invariants
+// behind bit-identical restarts, crash-consistent products, and the
+// deadlock-free rank mesh, machine-checked.
+//
+// Two modes:
+//
+//	workflowlint ./...              # standalone: load, check, report
+//	go vet -vettool=workflowlint pkgs   # vet tool protocol (CI gate)
+//
+// The standalone mode shells out to `go list -deps -export` for package
+// facts and export data, then type-checks each target package from
+// source; the vet mode implements cmd/go's unit-checker protocol
+// (-V=full, -flags, a JSON *.cfg argument, VetxOutput). Both use only
+// the standard library: the environment is hermetic, so this driver and
+// internal/lint/analysis stand in for golang.org/x/tools/go/analysis.
+//
+// Exit status: 0 clean, 1 internal error, 2 diagnostics reported.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	// The vet tool protocol probes -V=full before anything else; answer
+	// it ahead of normal flag parsing.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" || arg == "-V" || arg == "--V" {
+			printVersion()
+			return
+		}
+	}
+
+	flagsJSON := flag.Bool("flags", false, "print analyzer flags as JSON (vet tool protocol)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: workflowlint [-json] packages...\n   or: go vet -vettool=$(command -v workflowlint) packages...\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	flag.Parse()
+
+	if *flagsJSON {
+		// cmd/go queries the tool's flags; we keep none beyond -json.
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(args[0], *jsonOut))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, *jsonOut))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion answers cmd/go's toolID probe. The content hash of the
+// binary itself is the build ID, so editing an analyzer and rebuilding
+// invalidates go vet's action cache.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))[:24]
+		}
+	}
+	fmt.Printf("workflowlint version devel buildID=%s\n", id)
+}
+
+// diagnostic is one rendered finding, shared by both modes.
+type diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+// runPackage applies every analyzer to one loaded package.
+func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diagnostic {
+	var out []diagnostic
+	for _, a := range lint.Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, diagnostic{
+					Analyzer: a.Name,
+					Posn:     fset.Position(d.Pos).String(),
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: %s: %v\n", a.Name, err)
+		}
+	}
+	return out
+}
+
+// report prints diagnostics and returns the exit status.
+func report(diags []diagnostic, jsonOut bool) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(diags)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Posn, d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+// --- standalone mode ---
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+func runStandalone(patterns []string, jsonOut bool) int {
+	argv := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", argv...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: go list: %v\n", err)
+		return 1
+	}
+	exportOf := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: parsing go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exportOf[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportOf[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var diags []diagnostic
+	status := 0
+	for _, p := range targets {
+		var files []*ast.File
+		failed := false
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+				failed = true
+				break
+			}
+			files = append(files, f)
+		}
+		if failed || len(files) == 0 {
+			if failed {
+				status = 1
+			}
+			continue
+		}
+		info := analysis.NewTypesInfo()
+		conf := types.Config{Importer: imp, Error: func(error) {}}
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: type-checking %s: %v\n", p.ImportPath, err)
+			status = 1
+			continue
+		}
+		diags = append(diags, runPackage(fset, files, pkg, info)...)
+	}
+	if rc := report(diags, jsonOut); rc != 0 {
+		return rc
+	}
+	return status
+}

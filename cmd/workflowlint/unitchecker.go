@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for a vet tool invocation
+// (cmd/go/internal/work.vetConfig). Fields the checker does not consult
+// are still listed so the contract is visible in one place.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single package described by a vet.cfg
+// file, per cmd/go's unit-checker protocol: diagnostics go to stderr
+// (or stdout as JSON) and exit status 2 marks findings; the (empty —
+// this suite has no cross-package facts) vetx output file must be
+// written so cmd/go can cache the action.
+func runUnitchecker(cfgPath string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// This package was loaded only to provide facts to dependents;
+		// the suite has none, so the empty vetx is the whole answer.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewTypesInfo()
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "workflowlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	return report(runPackage(fset, files, pkg, info), jsonOut)
+}
+
+// writeVetx lands the (empty) facts file cmd/go expects at VetxOutput.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	// The vetx file is cmd/go's private action-cache artifact, validated
+	// by its own content hash — not a workflow product needing the
+	// temp-and-rename commit.
+	//lint:allow atomicwrite vetx is cmd/go cache metadata, not a data product
+	return os.WriteFile(path, []byte{}, 0o666)
+}

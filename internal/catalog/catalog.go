@@ -13,6 +13,7 @@ package catalog
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/cosmotools"
 )
 
@@ -103,17 +105,14 @@ func ReadFile(path string) ([]cosmotools.CenterRecord, error) {
 	return Read(f)
 }
 
-// WriteFile writes a catalog to a path.
+// WriteFile writes a catalog to a path, committing it atomically so the
+// merge step never reads a half-written Level 3 product.
 func WriteFile(path string, records []cosmotools.CenterRecord) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := Write(&buf, records); err != nil {
 		return err
 	}
-	if err := Write(f, records); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return ckpt.WriteFileAtomic(path, buf.Bytes())
 }
 
 // MergeFiles reads every input catalog and reconciles them in order: later

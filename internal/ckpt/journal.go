@@ -27,6 +27,7 @@ package ckpt
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -130,7 +131,7 @@ func Open(path string) (*Journal, []Record, error) {
 	br := bufio.NewReader(f)
 	for {
 		line, err := br.ReadString('\n')
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			// A final line without newline is a torn append: drop it.
 			break
 		}

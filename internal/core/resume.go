@@ -79,7 +79,13 @@ func ResumableCampaign(s *Scenario, timesteps int, outDir string, seed int64) (r
 	if err != nil {
 		return nil, err
 	}
-	defer j.Close()
+	defer func() {
+		// A close failure after fsync'd appends cannot lose records, but a
+		// silently dropped error would mask a sick filesystem mid-campaign.
+		if cerr := j.Close(); cerr != nil && err == nil {
+			rep, err = nil, cerr
+		}
+	}()
 	m := ckpt.Replay(records)
 	var faultSeed int64
 	if s.Faults != nil {
@@ -128,6 +134,7 @@ func ResumableCampaign(s *Scenario, timesteps int, outDir string, seed int64) (r
 			// The kill strikes mid-write: a torn prefix lands non-atomically
 			// and no journal record is written — the worst case the
 			// reconcile pass must clean up.
+			//lint:allow atomicwrite deliberate torn write: fault injection exercising the reconcile path
 			_ = os.WriteFile(filepath.Join(outDir, l2RelPath(step)), data[:len(data)*3/5], 0o644)
 			panic(campaignCrash{})
 		}

@@ -29,6 +29,7 @@ package gio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/nbody"
 )
 
@@ -306,17 +308,15 @@ func tornErr(err error) error {
 	return err
 }
 
-// WriteFile writes blocks to a file path (version 1 layout).
+// WriteFile writes blocks to a file path (version 1 layout). The file is
+// committed atomically (temp file, fsync, rename) so a crash mid-write
+// never leaves a torn final file for a resuming campaign to trust.
 func WriteFile(path string, blocks []Block) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := Write(&buf, blocks); err != nil {
 		return err
 	}
-	if err := Write(f, blocks); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return ckpt.WriteFileAtomic(path, buf.Bytes())
 }
 
 // ReadFile reads all blocks from a file path.

@@ -1,0 +1,95 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the core of golang.org/x/tools/go/analysis — just enough surface for
+// the workflowlint suite (internal/lint) and its driver
+// (cmd/workflowlint) to be written against the upstream API shape.
+//
+// The build environment for this repository is hermetic: no module
+// downloads are possible, and x/tools is not vendored. Rather than give
+// up machine-checked invariants, the checkers are written against this
+// mirror of the upstream types; if x/tools ever becomes available the
+// analyzers port with an import-path change only. Deliberately out of
+// scope: facts (no cross-package analysis is needed by this suite),
+// suggested fixes, and analyzer dependencies (`Requires`).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, documentation, and a Run
+// function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, //lint:allow
+	// suppression comments, and driver flags. By convention a single
+	// lower-case word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary, the rest elaborates.
+	Doc string
+
+	// Run applies the analyzer to a package. It may report diagnostics
+	// via the Pass and may return an error, which aborts the analysis of
+	// the package (reserved for internal failures, not findings).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer with the parsed, type-checked view of a
+// single package, and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is a finding: a position and a message. End and Category
+// are optional, mirroring the upstream struct.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos
+	Category string
+	Message  string
+}
+
+// Preorder visits every node of every file in depth-first preorder —
+// the moral equivalent of the upstream inspect.Analyzer's Preorder,
+// without the shared-inspector machinery (package trees here are small
+// enough that re-walking per analyzer is cheap).
+func Preorder(files []*ast.File, visit func(ast.Node)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				visit(n)
+			}
+			return true
+		})
+	}
+}
+
+// NewTypesInfo returns a types.Info with every map the checkers consult
+// allocated. Drivers (the CLI, analysistest) share it so passes always
+// see fully populated type information.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,218 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against // want comments — a stdlib-only equivalent
+// of golang.org/x/tools/go/analysis/analysistest, with the same fixture
+// layout (testdata/src/<pkg>/*.go) and expectation syntax:
+//
+//	rand.Int() // want `global math/rand`
+//	bad()      // want "first" "second"
+//
+// Each // want comment holds one or more Go string literals, each a
+// regular expression that must match a diagnostic reported on that line.
+// Every diagnostic must be matched by a want, and every want must be
+// matched by a diagnostic, else the test fails.
+//
+// Fixture packages may import the standard library only; they are
+// type-checked from GOROOT source (go/importer's "source" compiler), so
+// tests need no pre-built export data and no network.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// The source importer re-type-checks stdlib dependencies from GOROOT
+// source; share one instance (and its package cache) across every test
+// in the binary so each dependency is checked once.
+var (
+	sharedFset     = token.NewFileSet()
+	sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
+	importerMu     sync.Mutex
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, mirroring the upstream helper.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+// Run applies an analyzer to each fixture package (a directory name
+// under dir/src) and checks the reported diagnostics against the
+// fixtures' // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkgdir := filepath.Join(dir, "src", pkg)
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, pkgdir, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(pkgdir, e.Name()))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", pkgdir)
+	}
+	importerMu.Lock()
+	defer importerMu.Unlock()
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{
+		Importer: sharedImporter,
+		Error:    func(err error) {}, // collected via the returned error
+	}
+	pkg, err := conf.Check(files[0].Name.Name, sharedFset, files, info)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", pkgdir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      sharedFset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, files)
+	// Match each diagnostic against an unconsumed want on its line.
+	for _, d := range diags {
+		posn := sharedFset.Position(d.Pos)
+		key := lineKey{filepath.Base(posn.Filename), posn.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.rx.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.rx)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	rx   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses // want comments into per-line expectations.
+func collectWants(t *testing.T, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := sharedFset.Position(c.Pos())
+				key := lineKey{filepath.Base(posn.Filename), posn.Line}
+				for _, lit := range splitLiterals(m[1]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", posn, lit, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, pat, err)
+					}
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitLiterals slices `"a" "b"`-style want payloads into individual Go
+// string/backquote literals.
+func splitLiterals(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			break
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		// Tolerate a bare pattern with no quotes (not used by our
+		// fixtures, but cheap insurance against typos).
+		out = append(out, fmt.Sprintf("%q", s))
+	}
+	return out
+}

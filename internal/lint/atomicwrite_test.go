@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.AtomicWrite,
+		"atomicwrite_flagged", "atomicwrite_clean", "atomicwrite_allow")
+}

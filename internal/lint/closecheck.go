@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CloseCheck flags `defer f.Close()` that drops the error on a handle
+// opened for writing. For buffered or journaled writers the error
+// surfaced at Close is the one that says the final flush reached the
+// kernel; discarding it converts write failure into silent data loss.
+// Two triggers, non-test files only:
+//
+//  1. the deferred receiver is an *os.File obtained in the same function
+//     from os.Create, os.CreateTemp, or a writable os.OpenFile;
+//  2. the deferred receiver's static type is the crash-consistency
+//     journal (*ckpt.Journal) — its Close error reports the final
+//     fsync's fate.
+//
+// Read-side defers (os.Open) are fine and not flagged. The fix is the
+// named-return capture idiom:
+//
+//	defer func() {
+//		if cerr := f.Close(); err == nil {
+//			err = cerr
+//		}
+//	}()
+var CloseCheck = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "forbid defer f.Close() that drops the error on write-opened files and journals",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(pass *analysis.Pass) (any, error) {
+	r := newReporter(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		funcBodies([]*ast.File{f}, func(name string, body *ast.BlockStmt) {
+			checkDeferredCloses(pass, r, body)
+		})
+	}
+	return nil, nil
+}
+
+func checkDeferredCloses(pass *analysis.Pass, r *reporter, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Objects bound from write-opening calls in this body.
+	writeOpened := map[types.Object]bool{}
+	bodyNodes(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(info, call)
+		opensForWrite := isPkgFunc(fn, "os", "Create") || isPkgFunc(fn, "os", "CreateTemp") ||
+			(isPkgFunc(fn, "os", "OpenFile") && openFileWritable(call))
+		if !opensForWrite {
+			return
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				writeOpened[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				writeOpened[obj] = true
+			}
+		}
+	})
+
+	bodyNodes(body, func(n ast.Node) {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		sel, ok := ast.Unparen(def.Call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || len(def.Call.Args) != 0 {
+			return
+		}
+		recv := ast.Unparen(sel.X)
+
+		// Trigger 2: journal handles, by static type.
+		if isCkptJournal(info.Types[recv].Type) {
+			r.reportf(def.Pos(),
+				"defer %s.Close() discards the journal's close error (the final fsync's verdict); capture it into a named return or log it",
+				exprString(recv))
+			return
+		}
+
+		// Trigger 1: same-function write-opened os.File.
+		id, ok := recv.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := info.Uses[id]; obj != nil && writeOpened[obj] {
+			r.reportf(def.Pos(),
+				"defer %s.Close() discards the close error on a file opened for writing; a failed flush is silent data loss — capture it into a named return",
+				id.Name)
+		}
+	})
+}
+
+// isCkptJournal matches *T or T where T is a type named Journal declared
+// in a package named ckpt (name-matched so fixtures participate).
+func isCkptJournal(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Journal" && obj.Pkg() != nil && obj.Pkg().Name() == "ckpt"
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.CloseCheck,
+		"closecheck_flagged", "closecheck_journal", "closecheck_clean", "closecheck_allow")
+}

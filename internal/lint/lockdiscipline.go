@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockDiscipline enforces the concurrency rules the in-process MPI mesh
+// and the transit/sched layers rely on. Three rules:
+//
+//  1. locks are never copied by value — function receivers, parameters,
+//     results, plain assignments, and range variables of types that
+//     contain a sync.Mutex/RWMutex (or Cond/WaitGroup/Once/Pool) by
+//     value are flagged;
+//  2. every Lock has an Unlock on every path — within a function body,
+//     a return reached while a lock is held with no matching
+//     defer Unlock pending is flagged, as is a lock still held when the
+//     body ends;
+//  3. in the rank-exchange packages (mpi, transit, sched, dparallel):
+//     no channel operation (send, receive, select) while holding a lock
+//     — a blocked channel op under a lock stalls every rank that next
+//     contends that lock, deadlocking the mesh.
+//
+// Rule 2 is a token-order approximation, not a CFG analysis: an early
+// `return` between Lock and Unlock is exactly the leak it exists to
+// catch, and `mu.Unlock(); return` sequences pass. Conditional
+// lock/unlock pairs that confuse it should switch to defer or carry a
+// //lint:allow lockdiscipline comment with justification.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "forbid lock copies, leaked locks on return paths, and channel ops under locks",
+	Run:  runLockDiscipline,
+}
+
+// chanPkgs are the packages where rule 3 (no channel ops under a lock)
+// applies.
+var chanPkgs = map[string]bool{
+	"mpi": true, "transit": true, "sched": true, "dparallel": true,
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func runLockDiscipline(pass *analysis.Pass) (any, error) {
+	r := newReporter(pass)
+	for _, f := range pass.Files {
+		checkLockCopies(pass, r, f)
+		funcBodies([]*ast.File{f}, func(name string, body *ast.BlockStmt) {
+			checkLockPaths(pass, r, body)
+		})
+	}
+	return nil, nil
+}
+
+// --- rule 1: lock values copied ---
+
+func checkLockCopies(pass *analysis.Pass, r *reporter, f *ast.File) {
+	info := pass.TypesInfo
+	flagIdent := func(id *ast.Ident, what string) {
+		obj := info.Defs[id]
+		if obj == nil || obj.Type() == nil {
+			return
+		}
+		if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if typeHasMutex(obj.Type(), map[types.Type]bool{}) {
+			r.reportf(id.Pos(), "%s %q copies a lock: %s contains a sync primitive; pass a pointer",
+				what, id.Name, types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg)))
+		}
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				flagIdent(id, what)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(n.Recv, "receiver")
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if lhs, ok := n.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+					continue // discard, not a live copy
+				}
+				if !copiesExistingValue(rhs) {
+					continue
+				}
+				t := info.Types[rhs].Type
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					continue
+				}
+				if typeHasMutex(t, map[types.Type]bool{}) {
+					r.reportf(rhs.Pos(), "assignment copies a lock: %s contains a sync primitive; use a pointer",
+						types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil && obj.Type() != nil &&
+					typeHasMutex(obj.Type(), map[types.Type]bool{}) {
+					r.reportf(id.Pos(), "range variable %q copies a lock per iteration: %s contains a sync primitive; range over indices or pointers",
+						id.Name, types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiesExistingValue reports whether an expression re-reads an existing
+// value (and so copies it), as opposed to constructing a fresh one.
+func copiesExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- rules 2 and 3: token-order lock simulation ---
+
+type lockEvent struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 return, 3 chanop
+	key  string
+	desc string // chanop description
+}
+
+func checkLockPaths(pass *analysis.Pass, r *reporter, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// syncMethod resolves a call to (receiverKey, methodName) when the
+	// callee is a sync package Lock/Unlock family method.
+	syncMethod := func(call *ast.CallExpr) (string, string, bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", "", false
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", "", false
+		}
+		name := fn.Name()
+		if !lockMethods[name] && !unlockMethods[name] {
+			return "", "", false
+		}
+		key := exprString(sel.X)
+		if name == "RLock" || name == "RUnlock" {
+			key += " (read)"
+		}
+		return key, name, true
+	}
+
+	// Pass 1: deferred unlocks, direct or inside a deferred closure. The
+	// deferred calls themselves are excluded from the pass-2 event stream
+	// (they run at function exit, not at their source position).
+	deferred := map[string]bool{}
+	deferredCalls := map[*ast.CallExpr]bool{}
+	bodyNodes(body, func(n ast.Node) {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		deferredCalls[def.Call] = true
+		if key, name, ok := syncMethod(def.Call); ok && unlockMethods[name] {
+			deferred[key] = true
+			return
+		}
+		if lit, ok := def.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, name, ok := syncMethod(call); ok && unlockMethods[name] {
+						deferred[key] = true
+					}
+				}
+				return true
+			})
+		}
+	})
+
+	// Pass 2: the event stream in source order.
+	var events []lockEvent
+	bodyNodes(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if deferredCalls[n] {
+				return
+			}
+			if key, name, ok := syncMethod(n); ok {
+				kind := 0
+				if unlockMethods[name] {
+					kind = 1
+				}
+				events = append(events, lockEvent{pos: n.Pos(), kind: kind, key: key})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, lockEvent{pos: n.Pos(), kind: 2})
+		case *ast.SendStmt:
+			events = append(events, lockEvent{pos: n.Pos(), kind: 3, desc: "send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, lockEvent{pos: n.Pos(), kind: 3, desc: "receive"})
+			}
+		case *ast.SelectStmt:
+			events = append(events, lockEvent{pos: n.Pos(), kind: 3, desc: "select"})
+		}
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]token.Pos{}
+	checkChans := chanPkgs[pass.Pkg.Name()]
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			held[ev.key] = ev.pos
+		case 1:
+			delete(held, ev.key)
+		case 2:
+			for key := range held {
+				if !deferred[key] {
+					r.reportf(ev.pos, "return while %s is locked and no defer %s.Unlock() is pending; unlock on every path or defer the unlock",
+						key, trimReadSuffix(key))
+				}
+			}
+			// The flagged locks stay notionally held: one diagnostic per
+			// escaping return, plus the end-of-function check, mirrors how
+			// a reviewer reads the leak.
+		case 3:
+			if checkChans {
+				for key := range held {
+					r.reportf(ev.pos, "channel %s while holding %s can deadlock the rank mesh; release the lock around channel operations",
+						ev.desc, key)
+				}
+			}
+		}
+	}
+	for key, pos := range held {
+		if !deferred[key] {
+			r.reportf(pos, "%s.Lock() without a matching Unlock before the function ends", trimReadSuffix(key))
+		}
+	}
+}
+
+func trimReadSuffix(key string) string {
+	const suffix = " (read)"
+	if len(key) > len(suffix) && key[len(key)-len(suffix):] == suffix {
+		return key[:len(key)-len(suffix)]
+	}
+	return key
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.LockDiscipline,
+		"lockdiscipline_flagged", "lockdiscipline_clean", "lockdiscipline_otherpkg", "lockdiscipline_allow")
+}

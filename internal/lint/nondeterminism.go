@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Nondeterminism enforces PR 2's bit-identical-restart contract on the
+// deterministic packages (nbody, ic, halo, center, subhalo, so,
+// powerspec, core, gio, ckpt): product bytes must be a pure function of
+// (inputs, seed), so ambient entropy may not reach result-producing
+// code. Three rules, non-test files only:
+//
+//  1. no global math/rand calls (rand.Int, rand.Float64, …) — the
+//     process-global RNG is shared across goroutines and unseeded;
+//     constructors (rand.New, rand.NewSource, rand.NewZipf) for
+//     explicitly seeded *rand.Rand instances are the sanctioned
+//     replacement and are allowed;
+//  2. no argless time.Now except pure telemetry — a time.Now result may
+//     only flow into time.Since / Time.Sub (duration logging); anything
+//     else can reach output and varies per run;
+//  3. no map iteration whose order can reach output — ranging over a map
+//     while appending to an outer slice is flagged unless the slice is
+//     sorted later in the same function, and ranging while printing or
+//     writing to a stream is always flagged.
+var Nondeterminism = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid ambient entropy (global rand, wall clock, map order) in result-producing packages",
+	Run:  runNondeterminism,
+}
+
+// rand constructors that *produce* seeded generators rather than drawing
+// from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNondeterminism(pass *analysis.Pass) (any, error) {
+	if !isDeterministicPkg(pass.Pkg) {
+		return nil, nil
+	}
+	r := newReporter(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		parents := parentMap(f)
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if sig != nil && sig.Recv() == nil && !randConstructors[fn.Name()] {
+					r.reportf(call.Pos(),
+						"global math/rand call rand.%s is nondeterministic; draw from a seeded *rand.Rand threaded from the scenario/config",
+						fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" && sig != nil && sig.Recv() == nil &&
+					!telemetryOnlyNow(pass.TypesInfo, call, parents) {
+					r.reportf(call.Pos(),
+						"time.Now in deterministic package %q may reach results; keep wall-clock reads to telemetry (time.Since) or inject the clock",
+						pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+
+		checkMapRangeOrder(pass, r, f)
+	}
+	return nil, nil
+}
+
+// parentMap records each node's syntactic parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// telemetryOnlyNow reports whether a time.Now() call's value is consumed
+// exclusively by duration telemetry: passed directly to time.Since, or
+// bound to a variable whose every use is an operand of time.Since or
+// Time.Sub.
+func telemetryOnlyNow(info *types.Info, call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	parent := parents[call]
+	if p, ok := parent.(*ast.ParenExpr); ok {
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if fn := calleeFunc(info, p); isPkgFunc(fn, "time", "Since") {
+			return true
+		}
+	case *ast.AssignStmt:
+		obj := assignedObject(info, p, call)
+		if obj == nil {
+			return false
+		}
+		// Find the whole file the object lives in via any parent chain,
+		// then audit every use.
+		root := parent
+		for parents[root] != nil {
+			root = parents[root]
+		}
+		file, ok := root.(*ast.File)
+		if !ok {
+			return false
+		}
+		return usesAreTelemetry(info, file, obj, parents)
+	}
+	return false
+}
+
+// assignedObject returns the variable object an assignment binds rhs to,
+// or nil for multi-value or non-identifier destinations.
+func assignedObject(info *types.Info, as *ast.AssignStmt, rhs ast.Expr) types.Object {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	for i, r := range as.Rhs {
+		if ast.Unparen(r) != rhs {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// usesAreTelemetry checks that every use of obj in the file is an
+// operand of time.Since or Time.Sub.
+func usesAreTelemetry(info *types.Info, file *ast.File, obj types.Object, parents map[ast.Node]ast.Node) bool {
+	ok := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || info.Uses[id] != obj {
+			return true
+		}
+		if !telemetryUse(info, id, parents) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+func telemetryUse(info *types.Info, id *ast.Ident, parents map[ast.Node]ast.Node) bool {
+	switch p := parents[id].(type) {
+	case *ast.CallExpr:
+		// time.Since(t) or x.Sub(t)
+		fn := calleeFunc(info, p)
+		if isPkgFunc(fn, "time", "Since") {
+			return true
+		}
+		return fn != nil && fn.Name() == "Sub" && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+	case *ast.SelectorExpr:
+		// t.Sub(x): the receiver position of a Sub call.
+		if p.Sel.Name != "Sub" {
+			return false
+		}
+		call, ok := parents[p].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(info, call)
+		return fn != nil && fn.Name() == "Sub" && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+	case *ast.AssignStmt:
+		// Reassignment like t = time.Now() — fine in itself; the other
+		// uses decide.
+		return true
+	}
+	return false
+}
+
+// checkMapRangeOrder flags map-range loops whose iteration order can
+// reach output.
+func checkMapRangeOrder(pass *analysis.Pass, r *reporter, f *ast.File) {
+	funcBodies([]*ast.File{f}, func(name string, body *ast.BlockStmt) {
+		bodyNodes(body, func(n ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			auditMapRangeBody(pass, r, body, rng)
+		})
+	})
+}
+
+func auditMapRangeBody(pass *analysis.Pass, r *reporter, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Streaming output inside the loop: order reaches the stream.
+		if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "fmt" && (fn.Name() == "Fprintf" || fn.Name() == "Fprintln" ||
+				fn.Name() == "Fprint" || fn.Name() == "Printf" || fn.Name() == "Println" || fn.Name() == "Print") {
+				r.reportf(rng.Pos(),
+					"map iteration order reaches output: %s inside the range writes in nondeterministic order; sort the keys first", "fmt."+fn.Name())
+				return false
+			}
+			if fn.Name() == "Write" || fn.Name() == "WriteString" || fn.Name() == "WriteByte" {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					r.reportf(rng.Pos(),
+						"map iteration order reaches output: %s inside the range writes in nondeterministic order; sort the keys first", fn.Name())
+					return false
+				}
+			}
+		}
+		// append to a slice declared outside the loop.
+		if isBuiltinAppend(info, call) && len(call.Args) > 0 {
+			target, obj := appendTarget(info, call)
+			if obj == nil || obj.Pos() >= rng.Pos() {
+				return true
+			}
+			if !sortedLater(info, enclosing, rng, obj) {
+				r.reportf(rng.Pos(),
+					"map iteration appends to %q in nondeterministic order; sort the keys first or sort %q before it is used", target, target)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// appendTarget returns the identifier (and its object) that an
+// append(x, ...) call grows, when x is a plain identifier.
+func appendTarget(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	return id.Name, info.Uses[id]
+}
+
+// sortedLater reports whether, after the range loop, the enclosing body
+// contains a sort.* or slices.Sort* call that mentions obj.
+func sortedLater(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rng.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

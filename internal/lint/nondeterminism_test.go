@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.Nondeterminism,
+		"nondet_flagged", "nondet_clean", "nondet_otherpkg", "nondet_allow")
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestSentinelWrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.SentinelWrap,
+		"sentinelwrap_flagged", "sentinelwrap_clean", "sentinelwrap_allow")
+}

@@ -1,0 +1,18 @@
+// Allowlist fixture: deliberate non-atomic writes (fault injection
+// tearing files on purpose) carry an explicit suppression.
+package main
+
+import "os"
+
+func tearFileDeliberately(path string, data []byte) {
+	// A crash-injection helper lands a torn prefix non-atomically: the
+	// whole point is to violate the protocol.
+	//lint:allow atomicwrite deliberate torn write for fault injection
+	_ = os.WriteFile(path, data[:len(data)/2], 0o644)
+}
+
+func stillFlagged(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile bypasses internal/ckpt`
+}
+
+func main() {}

@@ -1,0 +1,35 @@
+// Negative fixture: package ckpt is the sanctioned atomic-commit layer,
+// so its direct file handling is exempt from rule 2 — and its
+// fsync-before-rename sequence satisfies rule 1.
+package ckpt
+
+import "os"
+
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "atomic*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Reads never need the atomic protocol.
+func ReadProduct(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Read-only OpenFile is not a product write.
+func OpenForRead(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}

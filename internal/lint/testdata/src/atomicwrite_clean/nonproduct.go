@@ -1,0 +1,9 @@
+// Rule 1 applies everywhere, including the exempt package: an unsynced
+// rename is still flagged here.
+package ckpt
+
+import "os"
+
+func renameWithoutSync(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os.Rename without a preceding File.Sync`
+}

@@ -1,0 +1,35 @@
+// Positive fixture: a command main (a product-producing package) writing
+// files directly, and a rename that never fsyncs.
+package main
+
+import "os"
+
+func writeProduct(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile bypasses internal/ckpt`
+}
+
+func createProduct(path string) error {
+	f, err := os.Create(path) // want `os.Create bypasses internal/ckpt`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func stageProduct(dir string) error {
+	f, err := os.CreateTemp(dir, "product*") // want `os.CreateTemp bypasses internal/ckpt`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func appendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) // want `writable os.OpenFile bypasses internal/ckpt`
+}
+
+func publish(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os.Rename without a preceding File.Sync`
+}
+
+func main() {}

@@ -1,0 +1,25 @@
+// Allowlist fixture.
+package gio
+
+import "os"
+
+func ScratchFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	//lint:allow closecheck scratch file is re-read and verified by the caller
+	defer f.Close()
+	_, err = f.Write([]byte("scratch"))
+	return err
+}
+
+func StillFlagged(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `discards the close error on a file opened for writing`
+	_, err = f.Write([]byte("x"))
+	return err
+}

@@ -1,0 +1,25 @@
+// Positive fixture: deferred Close on write-opened files drops the
+// flush error.
+package gio
+
+import "os"
+
+func WriteProduct(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) discards the close error on a file opened for writing`
+	_, err = f.Write(data)
+	return err
+}
+
+func AppendRecord(path string, rec []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) discards the close error on a file opened for writing`
+	_, err = f.Write(rec)
+	return err
+}

@@ -1,0 +1,25 @@
+// Positive fixture: the crash-consistency journal's Close error is the
+// final fsync's verdict; deferring it away is flagged by static type, no
+// matter how the handle reached the function.
+package ckpt
+
+import "os"
+
+type Journal struct{ f *os.File }
+
+func (j *Journal) Close() error { return j.f.Close() }
+
+func Open(path string) (*Journal, error) { return &Journal{}, nil }
+
+func UseJournal(path string) error {
+	j, err := Open(path)
+	if err != nil {
+		return err
+	}
+	defer j.Close() // want `defer j.Close\(\) discards the journal's close error`
+	return nil
+}
+
+func UseJournalParam(j *Journal) {
+	defer j.Close() // want `defer j.Close\(\) discards the journal's close error`
+}

@@ -1,0 +1,29 @@
+// Allowlist fixture: a hand-over-hand locking pattern the token-order
+// heuristic cannot follow carries an explicit suppression.
+package transit
+
+import "sync"
+
+type Node struct {
+	mu   sync.Mutex
+	next *Node
+	v    int
+}
+
+func HandOverHand(n *Node) int {
+	//lint:allow lockdiscipline hand-over-hand traversal; unlocked by the callee
+	n.mu.Lock()
+	//lint:allow lockdiscipline the lock is released inside crawl
+	return crawl(n)
+}
+
+func crawl(n *Node) int {
+	v := n.v
+	n.mu.Unlock()
+	return v
+}
+
+func StillFlagged(n *Node) int {
+	n.mu.Lock() // want `n.mu.Lock\(\) without a matching Unlock before the function ends`
+	return n.v  // want `return while n.mu is locked`
+}

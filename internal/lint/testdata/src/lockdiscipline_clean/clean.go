@@ -1,0 +1,60 @@
+// Negative fixture: the disciplined forms — defer Unlock, unlock before
+// channel ops, unlock-then-return, read locks, pointer passing.
+package transit
+
+import "sync"
+
+type Stage struct {
+	mu sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (s *Stage) Deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *Stage) DeferredClosure() (n int) {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.n
+}
+
+func (s *Stage) ReadLocked() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func (s *Stage) UnlockBeforeSend(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *Stage) UnlockThenReturn(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+func ByPointer(s *Stage) int {
+	return s.n
+}
+
+func RangePointers(stages []*Stage) int {
+	total := 0
+	for _, st := range stages {
+		total += st.n
+	}
+	return total
+}

@@ -1,0 +1,58 @@
+// Positive fixture: leaked locks, channel ops under locks (package
+// transit is in the rank-exchange set), and lock values copied.
+package transit
+
+import "sync"
+
+type Stage struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (s *Stage) LeakOnFallthrough() int {
+	s.mu.Lock() // want `s.mu.Lock\(\) without a matching Unlock before the function ends`
+	return s.n  // want `return while s.mu is locked`
+}
+
+func (s *Stage) LeakOnEarlyReturn(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return // want `return while s.mu is locked`
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stage) SendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *Stage) ReceiveUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while holding s.mu`
+	s.mu.Unlock()
+	return v
+}
+
+func ByValue(s Stage) int { // want `parameter "s" copies a lock`
+	return s.n
+}
+
+func (s Stage) ValueReceiver() int { // want `receiver "s" copies a lock`
+	return s.n
+}
+
+func CopyAssign(s *Stage) {
+	local := *s // want `assignment copies a lock`
+	_ = local
+}
+
+func RangeCopy(stages []Stage) int {
+	total := 0
+	for _, st := range stages { // want `range variable "st" copies a lock per iteration`
+		total += st.n
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Scope fixture: outside the rank-exchange packages, channel ops under a
+// lock are tolerated (rule 3 is scoped), but leaked locks are still
+// flagged everywhere (rule 2 is global).
+package stats
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (c *Counter) SendUnderLockTolerated(v int) {
+	c.mu.Lock()
+	c.ch <- v
+	c.mu.Unlock()
+}
+
+func (c *Counter) LeakStillFlagged() int {
+	c.mu.Lock() // want `c.mu.Lock\(\) without a matching Unlock before the function ends`
+	return c.n  // want `return while c.mu is locked`
+}

@@ -1,0 +1,50 @@
+// Negative fixture: the sanctioned forms of randomness, clocks, and map
+// iteration in a deterministic package draw no diagnostics.
+package halo
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded generators threaded from configuration are the replacement for
+// the global RNG.
+func MassSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() * 100
+}
+
+// Wall-clock reads whose value only feeds duration telemetry are fine.
+func Timed(work func()) time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// Direct time.Since(time.Now()) style telemetry.
+func TimedInline(work func()) time.Duration {
+	t0 := time.Now()
+	work()
+	elapsed := time.Since(t0)
+	return elapsed
+}
+
+// Map iteration is fine when the collected slice is sorted before use.
+func TagsSorted(m map[int64]float64) []int64 {
+	out := make([]int64, 0, len(m))
+	for tag := range m {
+		out = append(out, tag)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Order-insensitive reductions over maps are fine.
+func Total(m map[int64]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,40 @@
+// Positive fixture: package halo is in the deterministic set, so every
+// ambient-entropy pattern below must be diagnosed.
+package halo
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Mass() float64 {
+	return rand.Float64() * 100 // want `global math/rand call rand.Float64`
+}
+
+func Pick(n int) int {
+	return rand.Intn(n) // want `global math/rand call rand.Intn`
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package "halo"`
+}
+
+func StampVar() int64 {
+	t := time.Now() // want `time.Now in deterministic package "halo"`
+	return t.Unix()
+}
+
+func Tags(m map[int64]float64) []int64 {
+	var out []int64
+	for tag := range m { // want `map iteration appends to "out"`
+		out = append(out, tag)
+	}
+	return out
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output`
+		fmt.Println(k, v)
+	}
+}

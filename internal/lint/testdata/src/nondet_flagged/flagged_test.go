@@ -1,0 +1,13 @@
+// Test files are exempt: the same patterns draw no diagnostics here.
+package halo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUsesGlobalRand(t *testing.T) {
+	if rand.Float64() < 0 {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,16 @@
+// Scope fixture: package render is not in the deterministic set, so the
+// analyzer stays silent even on patterns it would flag elsewhere.
+package render
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

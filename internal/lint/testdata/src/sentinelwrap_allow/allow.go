@@ -1,0 +1,23 @@
+// Allowlist fixture: a deliberate identity check at an API boundary.
+package gio
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("gio: closed")
+
+func ExactlyClosed(err error) bool {
+	//lint:allow sentinelwrap boundary check must not match wrapped copies
+	return err == ErrClosed
+}
+
+func BoundaryError(err error) error {
+	//lint:allow sentinelwrap boundary: the cause is logged, not propagated
+	return fmt.Errorf("gio: giving up: %v", err)
+}
+
+func StillFlagged(err error) bool {
+	return err == ErrClosed // want `sentinel error gio.ErrClosed compared with ==`
+}

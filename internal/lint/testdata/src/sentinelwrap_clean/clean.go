@@ -1,0 +1,38 @@
+// Negative fixture: errors.Is matching, %w wrapping, nil comparisons,
+// and the deliberate sentinel-mapping pattern.
+package gio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrTruncated = errors.New("gio: truncated stream")
+
+func IsTorn(err error) bool {
+	return errors.Is(err, ErrTruncated)
+}
+
+func NilChecksAreFine(err error) bool {
+	return err == nil || err != nil
+}
+
+func Wrap(n int, err error) error {
+	return fmt.Errorf("gio: block %d failed: %w", n, err)
+}
+
+// Mapping an io-level error onto a sentinel wraps the sentinel and
+// deliberately formats the cause with %v — allowed because a %w is
+// present.
+func TornErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w (%v)", ErrTruncated, err)
+	}
+	return err
+}
+
+// No error arguments at all: nothing to wrap.
+func Plain(n int) error {
+	return fmt.Errorf("gio: %d blocks missing", n)
+}

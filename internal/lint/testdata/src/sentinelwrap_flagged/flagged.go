@@ -1,0 +1,38 @@
+// Positive fixture: identity comparison of sentinels and chain-severing
+// fmt.Errorf.
+package gio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrTruncated = errors.New("gio: truncated stream")
+var ErrChecksum = errors.New("gio: block checksum mismatch")
+
+func IsTorn(err error) bool {
+	return err == ErrTruncated // want `sentinel error gio.ErrTruncated compared with ==`
+}
+
+func IsIntact(err error) bool {
+	return err != ErrChecksum // want `sentinel error gio.ErrChecksum compared with !=`
+}
+
+func AtEOF(err error) bool {
+	return err == io.EOF // want `sentinel error io.EOF compared with ==`
+}
+
+func Classify(err error) string {
+	switch err {
+	case ErrTruncated: // want `switch matches sentinel error gio.ErrTruncated by identity`
+		return "torn"
+	case ErrChecksum: // want `switch matches sentinel error gio.ErrChecksum by identity`
+		return "corrupt"
+	}
+	return "other"
+}
+
+func ReadBlock(n int, err error) error {
+	return fmt.Errorf("gio: block %d failed: %v", n, err) // want `fmt.Errorf formats an error without %w`
+}
