@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// BenchmarkWorkflowlintRepo measures a full standalone analysis pass —
+// all eight analyzers, facts, and the call graph — over every package
+// in this repository. Loading (go list, parsing, type-checking) happens
+// once outside the timed loop; the benchmark isolates the analysis
+// cost, which is what grows as analyzers are added.
+func BenchmarkWorkflowlintRepo(b *testing.B) {
+	fset, loaded, err := loadPackages([]string{"repro/..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkgs, files int
+	for _, lp := range loaded {
+		pkgs++
+		files += len(lp.files)
+	}
+	b.Logf("analyzing %d packages, %d files", pkgs, files)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, err := analyzePackages(fset, loaded, analysis.NewFactStore())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repo is expected lint-clean, got %d diagnostics", len(diags))
+		}
+	}
+}

@@ -1,8 +1,10 @@
 // Command workflowlint is the multichecker for the repository's custom
 // static analyzers (internal/lint): nondeterminism, atomicwrite,
-// closecheck, lockdiscipline, sentinelwrap — the workflow invariants
-// behind bit-identical restarts, crash-consistent products, and the
-// deadlock-free rank mesh, machine-checked.
+// closecheck, lockdiscipline, sentinelwrap, mpicollective,
+// goroutineleak, errflow — the workflow invariants behind bit-identical
+// restarts, crash-consistent products, and the deadlock-free rank mesh,
+// machine-checked. The last three are interprocedural: they compute
+// facts over the call graph that cross package boundaries.
 //
 // Two modes:
 //
@@ -10,11 +12,17 @@
 //	go vet -vettool=workflowlint pkgs   # vet tool protocol (CI gate)
 //
 // The standalone mode shells out to `go list -deps -export` for package
-// facts and export data, then type-checks each target package from
-// source; the vet mode implements cmd/go's unit-checker protocol
-// (-V=full, -flags, a JSON *.cfg argument, VetxOutput). Both use only
-// the standard library: the environment is hermetic, so this driver and
-// internal/lint/analysis stand in for golang.org/x/tools/go/analysis.
+// facts and export data, walks the packages dependency-first (the order
+// `go list -deps` emits), and carries analyzer facts across packages in
+// memory; the vet mode implements cmd/go's unit-checker protocol
+// (-V=full, -flags, a JSON *.cfg argument) and serializes the fact store
+// into the VetxOutput file, so cross-package facts survive go vet's
+// action cache. Both use only the standard library: the environment is
+// hermetic, so this driver and internal/lint/analysis stand in for
+// golang.org/x/tools/go/analysis.
+//
+// With -json each diagnostic is one JSON object per line (file, line,
+// col, analyzer, message) — the shape CI annotation tooling consumes.
 //
 // Exit status: 0 clean, 1 internal error, 2 diagnostics reported.
 package main
@@ -52,7 +60,7 @@ func main() {
 	}
 
 	flagsJSON := flag.Bool("flags", false, "print analyzer flags as JSON (vet tool protocol)")
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON, one object per line")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: workflowlint [-json] packages...\n   or: go vet -vettool=$(command -v workflowlint) packages...\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -63,7 +71,7 @@ func main() {
 
 	if *flagsJSON {
 		// cmd/go queries the tool's flags; we keep none beyond -json.
-		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON, one object per line"}]`)
 		return
 	}
 
@@ -99,49 +107,54 @@ func printVersion() {
 
 // diagnostic is one rendered finding, shared by both modes.
 type diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
-	Posn     string `json:"posn"`
 	Message  string `json:"message"`
 }
 
-// runPackage applies every analyzer to one loaded package.
-func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diagnostic {
-	var out []diagnostic
-	for _, a := range lint.Analyzers() {
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			Report: func(d analysis.Diagnostic) {
-				out = append(out, diagnostic{
-					Analyzer: a.Name,
-					Posn:     fset.Position(d.Pos).String(),
-					Message:  d.Message,
-				})
-			},
-		}
-		if _, err := a.Run(pass); err != nil {
-			fmt.Fprintf(os.Stderr, "workflowlint: %s: %v\n", a.Name, err)
-		}
-	}
-	return out
+func (d diagnostic) posn() string {
+	return fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
 }
 
-// report prints diagnostics and returns the exit status.
+// runPackage applies the given analyzers (plus Requires) to one loaded
+// package, threading facts through store.
+func runPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, store *analysis.FactStore) ([]diagnostic, error) {
+	var out []diagnostic
+	base := &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	err := analysis.Execute(analyzers, base, store, func(a *analysis.Analyzer, d analysis.Diagnostic) {
+		posn := fset.Position(d.Pos)
+		out = append(out, diagnostic{
+			File:     posn.Filename,
+			Line:     posn.Line,
+			Col:      posn.Column,
+			Analyzer: a.Name,
+			Message:  d.Message,
+		})
+	})
+	return out, err
+}
+
+// report prints diagnostics and returns the exit status. JSON mode emits
+// one object per line on stdout (NDJSON, the CI-annotation contract);
+// the default renders human-readable lines on stderr.
 func report(diags []diagnostic, jsonOut bool) int {
 	if len(diags) == 0 {
 		return 0
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "\t")
-		enc.Encode(diags)
+		for _, d := range diags {
+			if err := enc.Encode(d); err != nil {
+				fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+				return 1
+			}
+		}
 		return 2
 	}
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Posn, d.Analyzer, d.Message)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.posn(), d.Analyzer, d.Message)
 	}
 	return 2
 }
@@ -158,32 +171,44 @@ type listPkg struct {
 	DepOnly    bool
 }
 
-func runStandalone(patterns []string, jsonOut bool) int {
+// loadedPkg is one package parsed and type-checked from source.
+type loadedPkg struct {
+	meta    listPkg
+	files   []*ast.File
+	pkg     *types.Package
+	info    *types.Info
+	depOnly bool
+}
+
+// loadPackages resolves patterns via `go list -deps -export` and
+// type-checks every non-stdlib package from source, dependencies first
+// (go list already emits them in dependency order). Stdlib packages
+// contribute export data only: no workflowlint fact roots live there,
+// so they are never analyzed.
+func loadPackages(patterns []string) (*token.FileSet, []*loadedPkg, error) {
 	argv := append([]string{"list", "-deps", "-export",
 		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}, patterns...)
 	cmd := exec.Command("go", argv...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "workflowlint: go list: %v\n", err)
-		return 1
+		return nil, nil, fmt.Errorf("go list: %w", err)
 	}
 	exportOf := map[string]string{}
-	var targets []listPkg
+	var metas []listPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
 		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			fmt.Fprintf(os.Stderr, "workflowlint: parsing go list output: %v\n", err)
-			return 1
+			return nil, nil, fmt.Errorf("parsing go list output: %w", err)
 		}
 		if p.Export != "" {
 			exportOf[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+		if !p.Standard {
+			metas = append(metas, p)
 		}
 	}
 
@@ -196,38 +221,69 @@ func runStandalone(patterns []string, jsonOut bool) int {
 		return os.Open(file)
 	})
 
-	var diags []diagnostic
-	status := 0
-	for _, p := range targets {
+	var loaded []*loadedPkg
+	for _, p := range metas {
 		var files []*ast.File
-		failed := false
+		var parseErr error
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
-				failed = true
+				parseErr = err
 				break
 			}
 			files = append(files, f)
 		}
-		if failed || len(files) == 0 {
-			if failed {
-				status = 1
-			}
+		if parseErr != nil {
+			return nil, nil, parseErr
+		}
+		if len(files) == 0 {
 			continue
 		}
 		info := analysis.NewTypesInfo()
 		conf := types.Config{Importer: imp, Error: func(error) {}}
 		pkg, err := conf.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "workflowlint: type-checking %s: %v\n", p.ImportPath, err)
-			status = 1
-			continue
+			return nil, nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
 		}
-		diags = append(diags, runPackage(fset, files, pkg, info)...)
+		loaded = append(loaded, &loadedPkg{meta: p, files: files, pkg: pkg, info: info, depOnly: p.DepOnly})
 	}
-	if rc := report(diags, jsonOut); rc != 0 {
-		return rc
+	return fset, loaded, nil
+}
+
+// analyzePackages runs the suite over loaded packages with one shared
+// fact store: dependency-only packages get the fact-producing analyzers
+// (their diagnostics are their owners' business when listed as
+// targets), targets get the full suite.
+func analyzePackages(fset *token.FileSet, loaded []*loadedPkg, store *analysis.FactStore) ([]diagnostic, error) {
+	all := lint.Analyzers()
+	factOnly := analysis.FactProducers(all)
+	var diags []diagnostic
+	for _, lp := range loaded {
+		analyzers := all
+		if lp.depOnly {
+			analyzers = factOnly
+		}
+		ds, err := runPackage(analyzers, fset, lp.files, lp.pkg, lp.info, store)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.meta.ImportPath, err)
+		}
+		if !lp.depOnly {
+			diags = append(diags, ds...)
+		}
 	}
-	return status
+	return diags, nil
+}
+
+func runStandalone(patterns []string, jsonOut bool) int {
+	fset, loaded, err := loadPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+		return 1
+	}
+	diags, err := analyzePackages(fset, loaded, analysis.NewFactStore())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+		return 1
+	}
+	return report(diags, jsonOut)
 }

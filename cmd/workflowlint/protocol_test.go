@@ -1,0 +1,349 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureFiles is a minimal four-package module exercising both
+// cross-package fact chains: app -> pipeline -> {mpi, gio}. The packages
+// import nothing from the standard library so the fresh-GOCACHE vet
+// runs stay cheap.
+var fixtureFiles = map[string]string{
+	"go.mod": "module lintfixture\n\ngo 1.22\n",
+	"mpi/mpi.go": `// Package mpi is a no-op stand-in for the repository's rank mesh —
+// just enough surface for the analyzers' fact computation.
+package mpi
+
+type Comm struct{ rank, size int }
+
+func (c *Comm) Rank() int                 { return c.rank }
+func (c *Comm) Size() int                 { return c.size }
+func (c *Comm) Barrier()                  {}
+func (c *Comm) AllReduceSumInt(v int) int { return v * c.size }
+`,
+	"gio/gio.go": `package gio
+
+type writeError struct{}
+
+func (writeError) Error() string { return "write failed" }
+
+// WriteFile is an errflow root: exported, Write-prefixed, in a package
+// named gio, returning error.
+func WriteFile(path string, data []byte) error {
+	if path == "" {
+		return writeError{}
+	}
+	_ = data
+	return nil
+}
+`,
+	"pipeline/pipeline.go": `package pipeline
+
+import (
+	"lintfixture/gio"
+	"lintfixture/mpi"
+)
+
+// SyncAll reaches a collective one call deep: callers inherit the
+// CallsCollective fact.
+func SyncAll(c *mpi.Comm) { c.Barrier() }
+
+// Save propagates gio.WriteFile's write error: callers inherit the
+// WriteErrorSource fact.
+func Save(path string) error { return gio.WriteFile(path, nil) }
+`,
+	"app/app.go": appClean,
+}
+
+const appClean = `package app
+
+import (
+	"lintfixture/mpi"
+	"lintfixture/pipeline"
+)
+
+func Run(c *mpi.Comm) error {
+	pipeline.SyncAll(c)
+	return pipeline.Save("out")
+}
+`
+
+// appViolated introduces one mpicollective and one errflow violation,
+// both only detectable through facts imported from package pipeline.
+const appViolated = `package app
+
+import (
+	"lintfixture/mpi"
+	"lintfixture/pipeline"
+)
+
+func Run(c *mpi.Comm) error {
+	if c.Rank() == 0 {
+		pipeline.SyncAll(c)
+	}
+	pipeline.Save("out")
+	return nil
+}
+`
+
+// buildTool compiles the workflowlint binary into dir and returns its
+// path.
+func buildTool(t *testing.T, dir string) string {
+	t.Helper()
+	tool := filepath.Join(dir, "workflowlint")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building workflowlint: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeFixture materializes fixtureFiles under dir.
+func writeFixture(t *testing.T, dir string) {
+	t.Helper()
+	for name, content := range fixtureFiles {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// envWith returns the current environment with key forced to val.
+func envWith(env []string, key, val string) []string {
+	var out []string
+	prefix := key + "="
+	for _, kv := range env {
+		if !strings.HasPrefix(kv, prefix) {
+			out = append(out, kv)
+		}
+	}
+	return append(out, prefix+val)
+}
+
+// diagLine matches the tool's human-readable diagnostic format.
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): ([a-z]+): (.+)$`)
+
+// normalizeDiags reduces diagnostics to a sorted, mode-independent form:
+// base filename, line, analyzer, message. (Columns and directory
+// prefixes differ between go vet's cwd-relative paths and the
+// standalone loader's absolute ones.)
+func normalizeDiags(t *testing.T, lines []string) []string {
+	t.Helper()
+	var out []string
+	for _, l := range lines {
+		m := diagLine.FindStringSubmatch(strings.TrimSpace(l))
+		if m == nil {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s:%s: %s: %s", filepath.Base(m[1]), m[2], m[4], m[5]))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestVetProtocolCaching drives the full unit-checker protocol against
+// a module whose leaf package violates mpicollective and errflow in
+// ways only visible through facts from its dependencies. cmd/go
+// consults the vet action cache only for VetxOnly (dependency) actions
+// — named packages always re-execute — so the test names only the leaf:
+// the first run executes all four packages and caches the three
+// dependencies' vetx files; the second run executes exactly one (the
+// leaf) and must still report the identical cross-package diagnostics,
+// proving the facts were read back from the cached vetx files rather
+// than recomputed. Finally the standalone mode is run over the same
+// module and its diagnostics must match the vet mode's exactly.
+func TestVetProtocolCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet with a fresh GOCACHE")
+	}
+
+	scratch := t.TempDir()
+	tool := buildTool(t, scratch)
+
+	fixture := filepath.Join(scratch, "fixture")
+	writeFixture(t, fixture)
+	if err := os.WriteFile(filepath.Join(fixture, "app", "app.go"), []byte(appViolated), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// The vettool is a wrapper that appends every *.cfg argument to a
+	// log before delegating, so the test can count which packages were
+	// actually executed vs served from go vet's action cache.
+	logFile := filepath.Join(scratch, "execs.log")
+	wrapper := filepath.Join(scratch, "vetwrap")
+	script := fmt.Sprintf(`#!/bin/sh
+for a in "$@"; do
+	case "$a" in
+	*.cfg) echo "$a" >>%q ;;
+	esac
+done
+exec %q "$@"
+`, logFile, tool)
+	if err := os.WriteFile(wrapper, []byte(script), 0o777); err != nil {
+		t.Fatal(err)
+	}
+
+	// A private GOCACHE makes the execution counts deterministic: the
+	// first run can never be served from a previous test's cache.
+	env := envWith(os.Environ(), "GOCACHE", filepath.Join(scratch, "gocache"))
+	env = envWith(env, "GOFLAGS", "")
+
+	countExecs := func() int {
+		data, err := os.ReadFile(logFile)
+		if os.IsNotExist(err) {
+			return 0
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(strings.Split(strings.TrimSpace(string(data)), "\n"))
+	}
+	resetLog := func() {
+		if err := os.WriteFile(logFile, nil, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runVet := func() (string, error) {
+		// Name only the leaf: its dependencies become VetxOnly vet
+		// actions, the only kind cmd/go serves from the action cache.
+		cmd := exec.Command("go", "vet", "-vettool="+wrapper, "./app")
+		cmd.Dir = fixture
+		cmd.Env = env
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	// Run 1: cold cache. The leaf plus its three dependencies execute,
+	// and the diagnostics must name facts from two packages away.
+	out, err := runVet()
+	if err == nil {
+		t.Fatalf("vet run over violated module unexpectedly clean:\n%s", out)
+	}
+	if got := countExecs(); got != 4 {
+		t.Errorf("cold-cache run executed %d packages, want 4\nlog:\n%s", got, readLog(t, logFile))
+	}
+	for _, want := range []string{
+		"SyncAll (reaches Barrier)",
+		"propagates write errors from gio.WriteFile",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing cross-package diagnostic %q:\n%s", want, out)
+		}
+	}
+	run1 := normalizeDiags(t, strings.Split(out, "\n"))
+
+	// Run 2: nothing changed. Only the named leaf re-executes; the
+	// dependencies' vetx fact files are served from the action cache,
+	// and the cross-package diagnostics must survive unchanged.
+	resetLog()
+	out, err = runVet()
+	if err == nil {
+		t.Fatalf("cached vet run unexpectedly clean:\n%s", out)
+	}
+	if got := countExecs(); got != 1 {
+		t.Errorf("warm-cache run executed %d packages, want 1 (dependencies not served from vet action cache)\nlog:\n%s", got, readLog(t, logFile))
+	}
+	run2 := normalizeDiags(t, strings.Split(out, "\n"))
+	if fmt.Sprint(run1) != fmt.Sprint(run2) {
+		t.Errorf("diagnostics changed when facts came from the cache:\ncold: %v\nwarm: %v", run1, run2)
+	}
+
+	// Parity: the standalone driver over the same module must report
+	// the identical diagnostics.
+	vetDiags := run2
+
+	cmd := exec.Command(tool, "./...")
+	cmd.Dir = fixture
+	cmd.Env = env
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("standalone run over violated module unexpectedly clean:\n%s", buf.String())
+	}
+	standaloneDiags := normalizeDiags(t, strings.Split(buf.String(), "\n"))
+
+	if len(vetDiags) == 0 {
+		t.Fatal("no diagnostics parsed from vet output")
+	}
+	if fmt.Sprint(vetDiags) != fmt.Sprint(standaloneDiags) {
+		t.Errorf("vet and standalone modes disagree:\nvet:        %v\nstandalone: %v", vetDiags, standaloneDiags)
+	}
+}
+
+// TestJSONOutput checks the -json contract on the same fixture: one
+// JSON object per line with file, line, analyzer, and message fields.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	scratch := t.TempDir()
+	tool := buildTool(t, scratch)
+	fixture := filepath.Join(scratch, "fixture")
+	writeFixture(t, fixture)
+	if err := os.WriteFile(filepath.Join(fixture, "app", "app.go"), []byte(appViolated), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(tool, "-json", "./...")
+	cmd.Dir = fixture
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("expected diagnostics, got clean run\nstderr: %s", stderr.String())
+	}
+
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSON diagnostics, got %d:\n%s", len(lines), stdout.String())
+	}
+	analyzers := map[string]bool{}
+	for _, line := range lines {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line is not a JSON object: %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic missing fields: %q", line)
+		}
+		if filepath.Base(d.File) != "app.go" {
+			t.Errorf("diagnostic in %s, want app.go", d.File)
+		}
+		analyzers[d.Analyzer] = true
+	}
+	if !analyzers["mpicollective"] || !analyzers["errflow"] {
+		t.Errorf("want one mpicollective and one errflow diagnostic, got %v", analyzers)
+	}
+}
+
+func readLog(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/lint"
 	"repro/internal/lint/analysis"
 )
 
@@ -41,9 +42,18 @@ type vetConfig struct {
 
 // runUnitchecker analyzes the single package described by a vet.cfg
 // file, per cmd/go's unit-checker protocol: diagnostics go to stderr
-// (or stdout as JSON) and exit status 2 marks findings; the (empty —
-// this suite has no cross-package facts) vetx output file must be
-// written so cmd/go can cache the action.
+// (or stdout as JSON) and exit status 2 marks findings. Facts imported
+// from the PackageVetx files of direct dependencies are merged into one
+// store; after analysis the store is gob-serialized to VetxOutput, so
+// cross-package facts ride cmd/go's action cache — a cached dependency
+// never re-runs, its vetx is simply replayed to dependents.
+//
+// VetxOnly packages (loaded solely so dependents can import their
+// facts) still get parsed, type-checked, and run through the
+// fact-producing analyzers, but report no diagnostics. Standard-library
+// packages are the exception: none of the suite's fact roots (mpi
+// collectives, fs/gio/ckpt/catalog write entry points) can live there,
+// so an empty vetx is the complete answer and the parse is skipped.
 func runUnitchecker(cfgPath string, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -55,14 +65,25 @@ func runUnitchecker(cfgPath string, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "workflowlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if err := writeVetx(cfg.VetxOutput); err != nil {
-		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
-		return 1
-	}
-	if cfg.VetxOnly {
-		// This package was loaded only to provide facts to dependents;
-		// the suite has none, so the empty vetx is the whole answer.
+
+	store := analysis.NewFactStore()
+	if cfg.VetxOnly && cfg.Standard[cfg.ImportPath] {
+		if err := writeVetx(cfg.VetxOutput, store); err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+			return 1
+		}
 		return 0
+	}
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: reading facts of %s: %v\n", path, err)
+			return 1
+		}
+		if err := store.Decode(data); err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: decoding facts of %s: %v\n", path, err)
+			return 1
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -79,6 +100,10 @@ func runUnitchecker(cfgPath string, jsonOut bool) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
+		if err := writeVetx(cfg.VetxOutput, store); err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+			return 1
+		}
 		return 0
 	}
 
@@ -107,17 +132,41 @@ func runUnitchecker(cfgPath string, jsonOut bool) int {
 		return 1
 	}
 
-	return report(runPackage(fset, files, pkg, info), jsonOut)
+	analyzers := lint.Analyzers()
+	if cfg.VetxOnly {
+		analyzers = analysis.FactProducers(analyzers)
+	}
+	diags, err := runPackage(analyzers, fset, files, pkg, info, store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput, store); err != nil {
+		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	return report(diags, jsonOut)
 }
 
-// writeVetx lands the (empty) facts file cmd/go expects at VetxOutput.
-func writeVetx(path string) error {
+// writeVetx lands the serialized fact store at VetxOutput. The encoding
+// is deterministic (facts sorted by package, object, type), which
+// matters: the vetx content participates in cmd/go's action-cache
+// hashing, so a nondeterministic byte stream would spuriously
+// invalidate dependent vet actions.
+func writeVetx(path string, store *analysis.FactStore) error {
 	if path == "" {
 		return nil
+	}
+	data, err := store.Encode()
+	if err != nil {
+		return fmt.Errorf("encoding facts: %w", err)
 	}
 	// The vetx file is cmd/go's private action-cache artifact, validated
 	// by its own content hash — not a workflow product needing the
 	// temp-and-rename commit.
 	//lint:allow atomicwrite vetx is cmd/go cache metadata, not a data product
-	return os.WriteFile(path, []byte{}, 0o666)
+	return os.WriteFile(path, data, 0o666)
 }

@@ -140,6 +140,7 @@ func TestGatherCounts(t *testing.T) {
 		local := distributeByOwner(all, c.Rank(), c.Size(), box)
 		res, err := ParallelFOF(c, local, box, 2.0, o)
 		if err != nil {
+			//lint:allow mpicollective error path fires only on test failure, where the resulting stall surfaces as a test timeout
 			return err
 		}
 		counts := GatherCounts(c, res.Catalog)

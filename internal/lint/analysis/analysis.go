@@ -7,9 +7,11 @@
 // downloads are possible, and x/tools is not vendored. Rather than give
 // up machine-checked invariants, the checkers are written against this
 // mirror of the upstream types; if x/tools ever becomes available the
-// analyzers port with an import-path change only. Deliberately out of
-// scope: facts (no cross-package analysis is needed by this suite),
-// suggested fixes, and analyzer dependencies (`Requires`).
+// analyzers port with an import-path change only. The mirror covers
+// analyzers, diagnostics, analyzer dependencies (`Requires`/`ResultOf`),
+// and object/package Facts with gob serialization (see facts.go) so
+// interprocedural results survive the go vet action cache. Deliberately
+// out of scope: suggested fixes.
 package analysis
 
 import (
@@ -33,8 +35,21 @@ type Analyzer struct {
 
 	// Run applies the analyzer to a package. It may report diagnostics
 	// via the Pass and may return an error, which aborts the analysis of
-	// the package (reserved for internal failures, not findings).
+	// the package (reserved for internal failures, not findings). The
+	// returned value is exposed to dependent analyzers via Pass.ResultOf.
 	Run func(*Pass) (any, error)
+
+	// Requires lists analyzers that must run before this one on the same
+	// package; their results appear in Pass.ResultOf. Drivers (Execute)
+	// schedule the transitive closure in dependency order.
+	Requires []*Analyzer
+
+	// FactTypes lists the fact types this analyzer exports or imports,
+	// one zero value per type. An analyzer with a non-empty FactTypes is
+	// run over dependency packages too (facts-only, diagnostics
+	// suppressed) so its cross-package facts exist when dependents are
+	// analyzed. Each fact type must be registered with RegisterFactType.
+	FactTypes []Fact
 }
 
 // A Pass provides one analyzer with the parsed, type-checked view of a
@@ -46,8 +61,23 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ResultOf maps each analyzer in Analyzer.Requires to its Run result
+	// for this package. Set by the driver.
+	ResultOf map[*Analyzer]any
+
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
+
+	// The fact API, mirroring upstream go/analysis. Bound by the driver
+	// (FactStore.bind); nil-safe no-ops otherwise. ExportObjectFact
+	// attaches a fact to an object declared in this pass's package;
+	// ImportObjectFact copies a previously exported fact (possibly from a
+	// dependency package analyzed earlier, or deserialized from a vetx
+	// file) into the pointer fact and reports whether one was found.
+	ExportObjectFact  func(obj types.Object, fact Fact)
+	ImportObjectFact  func(obj types.Object, fact Fact) bool
+	ExportPackageFact func(fact Fact)
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// testFact is a representative fact payload: a slice (order matters for
+// the determinism check) plus a scalar.
+type testFact struct {
+	Names []string
+	Depth int
+}
+
+func (*testFact) AFact() {}
+
+type otherFact struct {
+	Root string
+}
+
+func (*otherFact) AFact() {}
+
+func init() {
+	RegisterFactType(&testFact{})
+	RegisterFactType(&otherFact{})
+}
+
+// checkPkg type-checks a tiny package and returns it with the object of
+// its sole function.
+func checkPkg(t *testing.T, path, src, fn string) (*types.Package, types.Object) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := pkg.Scope().Lookup(fn)
+	if obj == nil {
+		t.Fatalf("no object %s in %s", fn, path)
+	}
+	return pkg, obj
+}
+
+// TestFactsRoundTrip drives a fact through the full vetx life cycle:
+// export against one type-checked view of a package, gob-encode, decode
+// into a fresh store (a new process, morally), and import against a
+// *different* type-checked view of the same package — the cross-view
+// identity the ObjectKey scheme exists to provide.
+func TestFactsRoundTrip(t *testing.T) {
+	const src = `package dep
+func Helper() {}
+`
+	pkg1, obj1 := checkPkg(t, "dep", src, "Helper")
+	_ = pkg1
+
+	store := NewFactStore()
+	pass := &Pass{Analyzer: &Analyzer{Name: "t"}, Pkg: pkg1}
+	store.Bind(pass)
+	want := &testFact{Names: []string{"Barrier", "AllGather"}, Depth: 2}
+	pass.ExportObjectFact(obj1, want)
+	pass.ExportPackageFact(&otherFact{Root: "gio.WriteFile"})
+
+	data, err := store.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("encoded facts are empty")
+	}
+
+	// Decode into a fresh store and look the facts up through a second,
+	// independent type-check of the same source (distinct types.Object
+	// identities, same keys).
+	store2 := NewFactStore()
+	if err := store2.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	pkg2, obj2 := checkPkg(t, "dep", src, "Helper")
+	pass2 := &Pass{Analyzer: &Analyzer{Name: "t"}, Pkg: pkg2}
+	store2.Bind(pass2)
+
+	var got testFact
+	if !pass2.ImportObjectFact(obj2, &got) {
+		t.Fatal("object fact did not survive the round trip")
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("object fact = %+v, want %+v", got, *want)
+	}
+	var gotPkg otherFact
+	if !pass2.ImportPackageFact(pkg2, &gotPkg) {
+		t.Fatal("package fact did not survive the round trip")
+	}
+	if gotPkg.Root != "gio.WriteFile" {
+		t.Fatalf("package fact = %+v", gotPkg)
+	}
+
+	// Absent facts must miss, not fabricate.
+	var missing otherFact
+	if pass2.ImportObjectFact(obj2, &missing) {
+		t.Fatal("imported a fact type that was never exported for the object")
+	}
+}
+
+// TestFactsEncodeDeterministic asserts byte-identical encodings across
+// stores populated in different orders — the property go vet's action
+// cache hashing relies on.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	const src = `package dep
+func A() {}
+func B() {}
+`
+	pkg, objA := checkPkg(t, "dep", src, "A")
+	objB := pkg.Scope().Lookup("B")
+
+	build := func(first, second types.Object) []byte {
+		store := NewFactStore()
+		pass := &Pass{Analyzer: &Analyzer{Name: "t"}, Pkg: pkg}
+		store.Bind(pass)
+		pass.ExportObjectFact(first, &testFact{Names: []string{"x"}})
+		pass.ExportObjectFact(second, &testFact{Names: []string{"y"}})
+		pass.ExportPackageFact(&otherFact{Root: "r"})
+		data, err := store.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ab := build(objA, objB)
+	// Same facts, reversed insertion order. Fact values differ per object
+	// so swapped ordering means swapped payloads unless sorting works.
+	store := NewFactStore()
+	pass := &Pass{Analyzer: &Analyzer{Name: "t"}, Pkg: pkg}
+	store.Bind(pass)
+	pass.ExportPackageFact(&otherFact{Root: "r"})
+	pass.ExportObjectFact(objB, &testFact{Names: []string{"y"}})
+	pass.ExportObjectFact(objA, &testFact{Names: []string{"x"}})
+	ba, err := store.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(ba) {
+		t.Fatal("fact encoding depends on insertion order")
+	}
+}
+
+// TestObjectKey covers the function and method key forms.
+func TestObjectKey(t *testing.T) {
+	const src = `package dep
+type T struct{}
+func (t *T) M() {}
+func F() {}
+var V int
+`
+	pkg, objF := checkPkg(t, "dep", src, "F")
+	if key, ok := ObjectKey(objF); !ok || key != "F" {
+		t.Fatalf("ObjectKey(F) = %q, %v", key, ok)
+	}
+	tObj := pkg.Scope().Lookup("T").Type().(*types.Named)
+	m, _, _ := types.LookupFieldOrMethod(tObj, true, pkg, "M")
+	if key, ok := ObjectKey(m); !ok || key != "T.M" {
+		t.Fatalf("ObjectKey(T.M) = %q, %v", key, ok)
+	}
+	if _, ok := ObjectKey(pkg.Scope().Lookup("V")); ok {
+		t.Fatal("ObjectKey accepted a var; only funcs carry facts here")
+	}
+}

@@ -11,9 +11,14 @@
 // Every diagnostic must be matched by a want, and every want must be
 // matched by a diagnostic, else the test fails.
 //
-// Fixture packages may import the standard library only; they are
-// type-checked from GOROOT source (go/importer's "source" compiler), so
-// tests need no pre-built export data and no network.
+// Fixture packages may import the standard library — type-checked from
+// GOROOT source (go/importer's "source" compiler), so tests need no
+// pre-built export data and no network — and other fixture packages,
+// GOPATH-style: `import "mpistub"` resolves to testdata/src/mpistub.
+// Fixture dependencies are themselves analyzed first (facts only,
+// diagnostics ignored) so cross-package facts flow exactly as they do
+// under the real drivers. Analyzer Requires are honored via the shared
+// analysis.Execute scheduler.
 package analysistest
 
 import (
@@ -68,13 +73,49 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
-func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
-	t.Helper()
+// fixtureImporter resolves fixture-local imports from dir/src (running
+// the analyzer over them first so their facts exist) and falls back to
+// the shared GOROOT source importer for the standard library.
+type fixtureImporter struct {
+	dir      string // testdata root
+	analyzer *analysis.Analyzer
+	store    *analysis.FactStore
+	pkgs     map[string]*types.Package
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	pkgdir := filepath.Join(imp.dir, "src", path)
+	if st, err := os.Stat(pkgdir); err != nil || !st.IsDir() {
+		return sharedImporter.Import(path)
+	}
+	files, err := parseFixtureFiles(pkgdir)
+	if err != nil {
+		return nil, err
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	pkg, err := conf.Check(path, sharedFset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check fixture dependency %s: %w", path, err)
+	}
+	// Analyze the dependency for its facts; its diagnostics are not under
+	// test here (list the package in Run to test them directly).
+	base := &analysis.Pass{Fset: sharedFset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := analysis.Execute([]*analysis.Analyzer{imp.analyzer}, base, imp.store, nil); err != nil {
+		return nil, fmt.Errorf("analyzing fixture dependency %s: %w", path, err)
+	}
+	imp.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func parseFixtureFiles(pkgdir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(pkgdir)
 	if err != nil {
-		t.Fatalf("fixture dir: %v", err)
+		return nil, fmt.Errorf("fixture dir: %w", err)
 	}
-	var files []*ast.File
 	var names []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -84,20 +125,37 @@ func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		t.Fatalf("no fixture files in %s", pkgdir)
+		return nil, fmt.Errorf("no fixture files in %s", pkgdir)
 	}
-	importerMu.Lock()
-	defer importerMu.Unlock()
+	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(sharedFset, name, nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parse fixture: %v", err)
+			return nil, fmt.Errorf("parse fixture: %w", err)
 		}
 		files = append(files, f)
 	}
+	return files, nil
+}
+
+func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
+	t.Helper()
+	importerMu.Lock()
+	defer importerMu.Unlock()
+	files, err := parseFixtureFiles(pkgdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := analysis.NewFactStore()
+	imp := &fixtureImporter{
+		dir:      filepath.Dir(filepath.Dir(pkgdir)), // testdata root (pkgdir = testdata/src/<pkg>)
+		analyzer: a,
+		store:    store,
+		pkgs:     map[string]*types.Package{},
+	}
 	info := analysis.NewTypesInfo()
 	conf := types.Config{
-		Importer: sharedImporter,
+		Importer: imp,
 		Error:    func(err error) {}, // collected via the returned error
 	}
 	pkg, err := conf.Check(files[0].Name.Name, sharedFset, files, info)
@@ -106,15 +164,10 @@ func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
 	}
 
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      sharedFset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
+	base := &analysis.Pass{Fset: sharedFset, Files: files, Pkg: pkg, TypesInfo: info}
+	err = analysis.Execute([]*analysis.Analyzer{a}, base, store,
+		func(_ *analysis.Analyzer, d analysis.Diagnostic) { diags = append(diags, d) })
+	if err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)
 	}
 

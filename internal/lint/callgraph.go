@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CallGraph is shared infrastructure, not a check: it builds the static
+// (type-resolved) call graph of one package once, and every
+// interprocedural analyzer declares it in Requires instead of re-walking
+// the ASTs. It reports no diagnostics; its result is a *CallGraphResult.
+//
+// Resolution is type-based and static only: a call site contributes an
+// edge when the callee identifier resolves to a *types.Func (direct
+// function calls and method calls with a statically known receiver
+// type). Calls through function values and interface methods produce no
+// edge — the analyzers built on top are deliberately conservative in the
+// other direction (absence of an edge means absence of a finding, never
+// a spurious one).
+//
+// Calls made inside a function literal are attributed to the enclosing
+// declared function: for the transitive properties computed over this
+// graph ("reaches a collective", "propagates a write error") a call made
+// by a closure the function creates is still a call the function's
+// callers must account for.
+var CallGraph = &analysis.Analyzer{
+	Name: "callgraph",
+	Doc:  "build the package's type-resolved static call graph (infrastructure for interprocedural analyzers)",
+	Run:  runCallGraph,
+}
+
+// CallGraphResult is the per-package call graph.
+type CallGraphResult struct {
+	// Nodes maps each function or method declared in this package (with
+	// a body) to its outgoing edges, in declaration order per file.
+	Nodes map[*types.Func]*CallNode
+	// Order lists the declared functions in source order, for
+	// deterministic iteration.
+	Order []*types.Func
+}
+
+// CallNode is one declared function and the static calls it makes.
+type CallNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []CallEdge
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee *types.Func
+	Site   *ast.CallExpr
+}
+
+func runCallGraph(pass *analysis.Pass) (any, error) {
+	result := &CallGraphResult{Nodes: map[*types.Func]*CallNode{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+					node.Calls = append(node.Calls, CallEdge{Callee: callee, Site: call})
+				}
+				return true
+			})
+			result.Nodes[fn] = node
+			result.Order = append(result.Order, fn)
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrFlow tracks write/IO errors interprocedurally from the persistence
+// kernel outward and forbids discarding them. The roots are the write
+// entry points of the packages that commit workflow products — fs, gio,
+// ckpt, catalog: exported functions returning an error whose name starts
+// with Write, Commit, Append, or Save. Any function, in any package,
+// that (transitively) calls a root and itself returns an error carries
+// the "propagates write errors" fact; the fact crosses package
+// boundaries through the driver's fact store (vetx files under go vet).
+//
+// A call site discards such an error when the call is a bare statement,
+// a `go`/`defer` statement, or an assignment with `_` in every
+// error-typed result position. A dropped write error is silent data
+// loss: the campaign resumes trusting a product that never reached the
+// disk. Deliberate discards (best-effort cleanup) take
+// //lint:allow errflow with justification.
+//
+// Test files are exempt — tests write scratch data and assert through
+// other means.
+var ErrFlow = &analysis.Analyzer{
+	Name:      "errflow",
+	Doc:       "forbid discarding errors that propagate from the fs/gio/ckpt/catalog write entry points",
+	Run:       runErrFlow,
+	Requires:  []*analysis.Analyzer{CallGraph},
+	FactTypes: []analysis.Fact{(*WriteErrorSource)(nil)},
+}
+
+// WriteErrorSource is the transitive fact: errors returned by this
+// function originate (at least in part) at these write entry points.
+type WriteErrorSource struct {
+	Roots []string // sorted unique "pkg.Func" root names
+}
+
+func (*WriteErrorSource) AFact() {}
+
+func init() { analysis.RegisterFactType(&WriteErrorSource{}) }
+
+// errflowRootPkgs are the persistence packages whose write entry points
+// seed the analysis (matched by package name so fixtures participate).
+var errflowRootPkgs = map[string]bool{
+	"fs": true, "gio": true, "ckpt": true, "catalog": true,
+}
+
+var errflowRootPrefixes = []string{"Write", "Commit", "Append", "Save"}
+
+// errflowRoot reports whether fn is a write entry point, and its label.
+func errflowRoot(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil || !errflowRootPkgs[fn.Pkg().Name()] || !fn.Exported() {
+		return "", false
+	}
+	named := false
+	for _, p := range errflowRootPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			named = true
+			break
+		}
+	}
+	if !named || !returnsError(fn) {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// returnsError reports whether fn's signature includes an error result.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrFlow(pass *analysis.Pass) (any, error) {
+	cg := pass.ResultOf[CallGraph].(*CallGraphResult)
+	r := newReporter(pass)
+
+	// Phase 1: transitive write-error sources for this package's
+	// functions. A function propagates iff it returns an error and calls
+	// a root or a propagator.
+	sources := map[*types.Func]map[string]bool{}
+	calleeRoots := func(fn *types.Func) map[string]bool {
+		if label, ok := errflowRoot(fn); ok {
+			return map[string]bool{label: true}
+		}
+		if set, ok := sources[fn]; ok {
+			return set
+		}
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			var fact WriteErrorSource
+			if pass.ImportObjectFact(fn, &fact) {
+				set := map[string]bool{}
+				for _, root := range fact.Roots {
+					set[root] = true
+				}
+				return set
+			}
+		}
+		return nil
+	}
+	for _, fn := range cg.Order {
+		if returnsError(fn) {
+			sources[fn] = map[string]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.Order {
+			set, ok := sources[fn]
+			if !ok {
+				continue
+			}
+			for _, edge := range cg.Nodes[fn].Calls {
+				for root := range calleeRoots(edge.Callee) {
+					if !set[root] {
+						set[root] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, fn := range cg.Order {
+		if set := sources[fn]; len(set) > 0 {
+			pass.ExportObjectFact(fn, &WriteErrorSource{Roots: sortedKeys(set)})
+		}
+	}
+
+	// siteRoots resolves a call expression to the write roots whose
+	// errors it can return.
+	siteRoots := func(call *ast.CallExpr) (*types.Func, []string) {
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return nil, nil
+		}
+		set := calleeRoots(fn)
+		if len(set) == 0 {
+			return nil, nil
+		}
+		return fn, sortedKeys(set)
+	}
+
+	// Phase 2: discarded-error call sites, non-test files only.
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					reportDiscard(pass, r, call, "discarded", siteRoots)
+				}
+				return false
+			case *ast.GoStmt:
+				reportDiscard(pass, r, n.Call, "discarded by go statement", siteRoots)
+			case *ast.DeferStmt:
+				reportDiscard(pass, r, n.Call, "discarded by defer", siteRoots)
+			case *ast.AssignStmt:
+				checkBlankError(pass, r, n, siteRoots)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// reportDiscard flags a call whose error results all vanish (statement
+// position: nothing is assigned).
+func reportDiscard(pass *analysis.Pass, r *reporter, call *ast.CallExpr, how string, siteRoots func(*ast.CallExpr) (*types.Func, []string)) {
+	fn, roots := siteRoots(call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	r.reportf(call.Pos(),
+		"error of %s %s: it propagates write errors from %s; a dropped write error is silent data loss — handle or return it",
+		fn.Name(), how, strings.Join(roots, ", "))
+}
+
+// checkBlankError flags assignments that route every error result of a
+// write-error-propagating call into the blank identifier.
+func checkBlankError(pass *analysis.Pass, r *reporter, as *ast.AssignStmt, siteRoots func(*ast.CallExpr) (*types.Func, []string)) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, roots := siteRoots(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Multi-value form: len(Lhs) == results. Single error result with
+	// `_ = f()` is the len==1 case of the same loop.
+	if sig.Results().Len() != len(as.Lhs) {
+		return
+	}
+	anyError := false
+	allBlank := true
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		anyError = true
+		if id, ok := as.Lhs[i].(*ast.Ident); !ok || id.Name != "_" {
+			allBlank = false
+		}
+	}
+	if anyError && allBlank {
+		r.reportf(as.Pos(),
+			"error of %s assigned to _: it propagates write errors from %s; a dropped write error is silent data loss — handle or return it",
+			fn.Name(), strings.Join(roots, ", "))
+	}
+}

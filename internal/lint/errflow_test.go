@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.ErrFlow,
+		"errflow_flagged", "errflow_clean", "errflow_allow", "errflow_xpkg")
+}

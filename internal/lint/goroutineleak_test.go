@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.GoroutineLeak,
+		"goroutineleak_flagged", "goroutineleak_clean", "goroutineleak_allow", "goroutineleak_otherpkg")
+}

@@ -32,7 +32,11 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// Analyzers returns the full workflowlint suite in stable order.
+// Analyzers returns the full workflowlint suite in stable order: the
+// five intraprocedural checks from the original gate plus the three
+// interprocedural analyzers built on the callgraph/facts platform.
+// CallGraph itself is infrastructure, pulled in via Requires, and is
+// deliberately not listed.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Nondeterminism,
@@ -40,6 +44,9 @@ func Analyzers() []*analysis.Analyzer {
 		CloseCheck,
 		LockDiscipline,
 		SentinelWrap,
+		MPICollective,
+		GoroutineLeak,
+		ErrFlow,
 	}
 }
 

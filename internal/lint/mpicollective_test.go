@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestMPICollective(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.MPICollective,
+		"mpicollective_flagged", "mpicollective_clean", "mpicollective_allow", "mpicollective_xpkg")
+}

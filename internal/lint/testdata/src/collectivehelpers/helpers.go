@@ -1,0 +1,25 @@
+// Package collectivehelpers is a fixture dependency: its helpers reach
+// collectives, so the mpicollective analyzer must export CallsCollective
+// facts for them — the cross-package half of the interprocedural test.
+package collectivehelpers
+
+import "mpistub"
+
+// SyncAll reaches a collective directly.
+func SyncAll(c *mpi.Comm) {
+	c.Barrier()
+}
+
+// ReduceAll reaches collectives one call deeper.
+func ReduceAll(c *mpi.Comm, v float64) float64 {
+	return reduce(c, v)
+}
+
+func reduce(c *mpi.Comm, v float64) float64 {
+	return c.AllReduceSum(v)
+}
+
+// NoCollectives must NOT carry a fact.
+func NoCollectives(c *mpi.Comm) int {
+	return c.Rank() + c.Size()
+}

@@ -1,0 +1,9 @@
+// Suppression fixture for errflow.
+package pipeline
+
+import "giostub"
+
+func bestEffort() {
+	//lint:allow errflow best-effort debug dump; the journal is the durable copy
+	_ = gio.WriteFile("debug.dump", nil)
+}

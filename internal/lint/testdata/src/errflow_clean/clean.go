@@ -1,0 +1,40 @@
+// Negative fixture for errflow: handled write errors and non-write
+// calls draw no diagnostics.
+package pipeline
+
+import "giostub"
+
+func handled() error {
+	if err := gio.WriteFile("x", nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+func save(path string) error {
+	return gio.WriteFile(path, nil)
+}
+
+func returned() error {
+	return save("x")
+}
+
+func inspected() {
+	err := save("x")
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Read-side errors are outside this analyzer's contract (closecheck and
+// sentinelwrap police other halves); a discarded read is not flagged.
+func readDiscard() {
+	_, _ = gio.ReadFile("x")
+}
+
+// A function with no write ancestry may be called bare.
+func pureWork() int { return 42 }
+
+func barePure() {
+	pureWork()
+}

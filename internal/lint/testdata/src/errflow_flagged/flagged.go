@@ -1,0 +1,46 @@
+// Positive fixture for errflow: write errors discarded at the call
+// site, directly and through local wrappers.
+package pipeline
+
+import "giostub"
+
+// Bare statement drops the root's error directly.
+func bareRoot() {
+	gio.WriteFile("x", nil) // want `error of WriteFile discarded`
+}
+
+// Blank assignment drops it.
+func blankRoot() {
+	_ = gio.WriteFile("x", nil) // want `error of WriteFile assigned to _`
+}
+
+// save carries the fact (returns error, calls the root)…
+func save(path string) error {
+	return gio.WriteFile(path, nil)
+}
+
+// …so discarding save's error is discarding a write error.
+func bareWrapper() {
+	save("x") // want `error of save discarded: it propagates write errors from gio.WriteFile`
+}
+
+// go/defer statements lose the error with no recourse at all.
+func spawned() {
+	go save("x")    // want `error of save discarded by go statement`
+	defer save("x") // want `error of save discarded by defer`
+}
+
+// writeCount is two deep and mixes results.
+func writeCount(paths []string) (int, error) {
+	for _, p := range paths {
+		if err := save(p); err != nil {
+			return 0, err
+		}
+	}
+	return len(paths), nil
+}
+
+func blankMixed() int {
+	n, _ := writeCount(nil) // want `error of writeCount assigned to _`
+	return n
+}

@@ -1,0 +1,19 @@
+// Cross-package fixture for errflow: the wrappers live in the savers
+// fixture package, so these findings exist only if the WriteErrorSource
+// fact crossed the package boundary.
+package pipeline
+
+import "savers"
+
+func discardCrossPackage() {
+	savers.Save("x") // want `error of Save discarded: it propagates write errors from gio.WriteFile`
+}
+
+func discardTwoDeep() {
+	_ = savers.SaveAll(nil) // want `error of SaveAll assigned to _: it propagates write errors from gio.WriteFile`
+}
+
+// A fact-free callee from the same dependency stays clean.
+func cleanCrossPackage() int {
+	return savers.Count(nil)
+}

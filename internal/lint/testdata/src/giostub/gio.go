@@ -1,0 +1,22 @@
+// Package gio is a fixture stub of the persistence kernel: errflow
+// roots match by package name and Write*/Commit*/Append*/Save* prefix.
+// Imported by other fixtures as `import "giostub"`.
+package gio
+
+import "errors"
+
+var errShort = errors.New("gio: short write")
+
+// WriteFile is a write entry point: exported, Write-prefixed, returns
+// error.
+func WriteFile(path string, data []byte) error {
+	if path == "" {
+		return errShort
+	}
+	return nil
+}
+
+// ReadFile is not a root (read side).
+func ReadFile(path string) ([]byte, error) {
+	return nil, nil
+}

@@ -1,0 +1,11 @@
+// Suppression fixture for goroutineleak.
+package dparallel
+
+func work() int { return 1 }
+
+func deliberateDetach() {
+	//lint:allow goroutineleak best-effort cache warmer; process lifetime bounds it
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,80 @@
+// Negative fixture for goroutineleak: the sanctioned join shapes.
+package transit
+
+import (
+	"context"
+	"sync"
+)
+
+func work() int { return 1 }
+
+// WaitGroup join: Done inside, Add/Wait in the spawner.
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Result over an unbuffered channel, received on every path.
+func resultChannel() int {
+	ch := make(chan int)
+	go func() {
+		ch <- work()
+	}()
+	return <-ch
+}
+
+// A buffered channel tolerates the early return: the send completes and
+// the goroutine exits even if nobody receives.
+func bufferedResult(fail bool) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work()
+	}()
+	if fail {
+		return 0
+	}
+	return <-ch
+}
+
+// Worker drained by channel close.
+func drainWorker(in chan int) {
+	done := make(chan struct{})
+	go func() {
+		for range in {
+			work()
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// Stop-channel select ties the goroutine to its stopper.
+func stoppable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// A channel that escapes into a helper is not tracked (the helper may
+// receive); no diagnostic.
+func escapes(consume func(chan int)) {
+	ch := make(chan int)
+	go func() {
+		ch <- work()
+	}()
+	consume(ch)
+}

@@ -1,0 +1,34 @@
+// Positive fixture for goroutineleak (package sched is in the
+// concurrency set): unjoined goroutines and unbuffered sends that can
+// outlive their receiver.
+package sched
+
+func work() int { return 1 }
+
+// No completion signal at all: nothing outside can ever join this.
+func fireAndForget() {
+	go func() { // want `goroutine has no completion signal`
+		work()
+	}()
+}
+
+// The goroutine sends, but the spawning function never receives.
+func sendNoReceiver() {
+	ch := make(chan int)
+	go func() {
+		ch <- work() // want `no receive in the spawning function`
+	}()
+}
+
+// An early return sits between the spawn and the only receive: on that
+// path the send blocks forever and the goroutine leaks.
+func sendPastEarlyReturn(fail bool) int {
+	ch := make(chan int)
+	go func() {
+		ch <- work() // want `can block forever`
+	}()
+	if fail {
+		return 0
+	}
+	return <-ch
+}

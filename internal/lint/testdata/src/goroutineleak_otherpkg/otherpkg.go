@@ -1,0 +1,18 @@
+// Out-of-scope fixture: package render is not in the concurrency set,
+// so identical code draws no diagnostics.
+package render
+
+func work() int { return 1 }
+
+func fireAndForget() {
+	go func() {
+		work()
+	}()
+}
+
+func sendNoReceiver() {
+	ch := make(chan int)
+	go func() {
+		ch <- work()
+	}()
+}

@@ -1,0 +1,89 @@
+// Negative fixture for mpicollective: the sanctioned SPMD shapes.
+package workflow
+
+import "mpistub"
+
+// Collectives on the straight-line path: every rank reaches them.
+func straightLine(c *mpi.Comm) float64 {
+	c.Barrier()
+	return c.AllReduceSum(float64(c.Rank()))
+}
+
+// Matched collective sequences across a rank guard: root does extra
+// local work, both arms synchronize identically.
+func matchedArms(c *mpi.Comm, merge func()) {
+	if c.Rank() == 0 {
+		merge()
+		c.Barrier()
+	} else {
+		c.Barrier()
+	}
+}
+
+// Size-dependent control flow is uniform across ranks — not flagged.
+func sizeGuarded(c *mpi.Comm) {
+	if c.Size() > 1 {
+		c.Barrier()
+	}
+}
+
+// Rank-guarded point-to-point messaging is the normal root pattern; only
+// collectives are ordering-sensitive.
+func rootSends(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		for d := 1; d < c.Size(); d++ {
+			c.Send(d, 1, nil)
+		}
+	} else {
+		_ = c.Recv(0, 1)
+	}
+	c.Barrier()
+}
+
+// Uniform trip count: every rank loops Size() times.
+func uniformLoop(c *mpi.Comm) {
+	for i := 0; i < c.Size(); i++ {
+		c.Barrier()
+	}
+}
+
+// A helper that reaches no collective may be rank-guarded freely.
+func guardedLocalWork(c *mpi.Comm) int {
+	total := 0
+	if c.Rank() == 0 {
+		total = localWork(c)
+	}
+	return total
+}
+
+func localWork(c *mpi.Comm) int { return c.Rank() * 2 }
+
+// A rank-guarded early return with no collectives below is fine.
+func earlyOut(c *mpi.Comm) int {
+	if c.Rank() != 0 {
+		return 0
+	}
+	return 1
+}
+
+// AllReduce results are rank-uniform by definition, even when computed
+// from rank-dependent inputs: every rank sees the same sum, so every
+// rank takes the same branch. The canonical uniform-decision idiom.
+func reduceDecides(c *mpi.Comm) {
+	localErrs := c.Rank() % 2
+	if c.AllReduceSumInt(localErrs) > 0 {
+		c.Barrier()
+	}
+}
+
+// Same for a value broadcast from root and a gathered slice.
+func bcastDecides(c *mpi.Comm, flag any) {
+	v := c.Bcast(0, flag)
+	if v != nil {
+		c.Barrier()
+	}
+	all := c.AllGather(c.Rank())
+	for range all {
+		c.Barrier()
+	}
+}

@@ -1,0 +1,61 @@
+// Positive fixture for mpicollective: collectives under rank-dependent
+// control flow, including ones reached only through helpers two calls
+// deep — provably beyond any intraprocedural checker.
+package workflow
+
+import "mpistub"
+
+// Direct collective under a rank guard with no else.
+func directGuarded(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `collective Barrier under rank-dependent condition`
+	}
+}
+
+// The collective is two helper calls away from the guard: only the
+// transitive CallsCollective fact over the call graph can see it.
+func helperGuarded(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		stepOne(c) // want `collective stepOne \(reaches Barrier\) under rank-dependent condition`
+	}
+}
+
+func stepOne(c *mpi.Comm) { stepTwo(c) }
+
+func stepTwo(c *mpi.Comm) { c.Barrier() }
+
+// Mismatched collective sequences across the arms: rank 0 reduces, the
+// rest only synchronize — the reduce deadlocks against the barrier.
+func mismatchedArms(c *mpi.Comm) {
+	if c.Rank() == 0 { // want `mismatched collective sequences across rank-dependent branches`
+		c.AllReduceSum(1)
+		c.Barrier()
+	} else {
+		c.Barrier()
+	}
+}
+
+// Rank-dependent trip count: rank r calls the collective r times.
+func rankBoundedLoop(c *mpi.Comm) {
+	for i := 0; i < c.Rank(); i++ {
+		c.Barrier() // want `collective Barrier inside a loop with rank-dependent condition`
+	}
+}
+
+// A guarded early return makes the ranks that return skip the barrier
+// below.
+func earlyReturn(c *mpi.Comm) {
+	if c.Rank() != 0 {
+		return // want `rank-dependent early return skips collective`
+	}
+	c.Barrier()
+}
+
+// Taint flows through a local variable.
+func taintedLocal(c *mpi.Comm) {
+	rank := c.Rank()
+	root := rank == 0
+	if root {
+		c.AllGather(nil) // want `collective AllGather under rank-dependent condition`
+	}
+}

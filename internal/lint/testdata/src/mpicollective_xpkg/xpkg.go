@@ -1,0 +1,29 @@
+// Cross-package fixture for mpicollective: the collective lives in a
+// different fixture package (collectivehelpers), so the finding exists
+// only if the CallsCollective fact crossed the package boundary.
+package workflow
+
+import (
+	"collectivehelpers"
+	"mpistub"
+)
+
+func guardedCrossPackage(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		collectivehelpers.SyncAll(c) // want `collective SyncAll \(reaches Barrier\) under rank-dependent condition`
+	}
+}
+
+// Two packages AND two calls deep: ReduceAll -> reduce -> AllReduceSum.
+func deepCrossPackage(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		_ = collectivehelpers.ReduceAll(c, 1) // want `collective ReduceAll \(reaches AllReduceSum\) under rank-dependent condition`
+	}
+}
+
+// A fact-free helper under a guard stays clean.
+func cleanCrossPackage(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		_ = collectivehelpers.NoCollectives(c)
+	}
+}

@@ -1,0 +1,29 @@
+// Package mpi is a fixture stub of the real communicator: the analyzers
+// match mpi.Comm by package and type name, so this stands in for
+// repro/internal/mpi inside the hermetic fixture universe. Imported by
+// other fixtures as `import "mpistub"`.
+package mpi
+
+// Comm mirrors the real communicator's collective surface.
+type Comm struct {
+	rank int
+	size int
+}
+
+func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Size() int { return c.size }
+
+func (c *Comm) Send(dst, tag int, payload any) {}
+func (c *Comm) Recv(src, tag int) any          { return nil }
+
+func (c *Comm) Barrier()                                                  {}
+func (c *Comm) AllGather(val any) []any                                   { return nil }
+func (c *Comm) AllToAll(out []any) []any                                  { return out }
+func (c *Comm) Bcast(root int, val any) any                               { return val }
+func (c *Comm) Gather(root int, val any) []any                            { return nil }
+func (c *Comm) Scatter(root int, vals []any) any                          { return nil }
+func (c *Comm) AllReduceFloat64(v float64, op func(a, b float64) float64) float64 { return v }
+func (c *Comm) AllReduceSum(v float64) float64                            { return v }
+func (c *Comm) AllReduceMax(v float64) float64                            { return v }
+func (c *Comm) AllReduceMin(v float64) float64                            { return v }
+func (c *Comm) AllReduceSumInt(v int) int                                 { return v }

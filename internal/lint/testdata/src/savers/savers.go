@@ -1,0 +1,26 @@
+// Package savers is a fixture dependency for errflow: it wraps the gio
+// write entry point, so its exported functions must carry the
+// WriteErrorSource fact across the package boundary.
+package savers
+
+import "giostub"
+
+// Save propagates gio.WriteFile's error one package away.
+func Save(path string) error {
+	return gio.WriteFile(path, nil)
+}
+
+// SaveAll is two calls deep on top of that.
+func SaveAll(paths []string) error {
+	for _, p := range paths {
+		if err := Save(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns no error: no fact.
+func Count(paths []string) int {
+	return len(paths)
+}

@@ -155,6 +155,17 @@ func (c *Comm) AllGather(val any) []any {
 
 // AllReduceFloat64 combines each rank's value with op (associative and
 // commutative) and returns the result on every rank.
+//
+// The reduction order is deterministic: values are folded in rank order
+// (((v0 op v1) op v2) ... op vN-1), regardless of the order in which
+// ranks arrive at the collective. AllGather stores each contribution in
+// its rank's slot, so goroutine scheduling cannot reorder the fold.
+// Floating-point addition is not associative — a scheduling-dependent
+// order would make campaign results differ bit-for-bit run to run,
+// breaking the bit-identical-restart contract the checkpoint layer
+// verifies. Every rank computes the same fold over the same slice, so
+// all ranks return bit-identical results. Pinned by
+// TestAllReduceDeterministicOrder.
 func (c *Comm) AllReduceFloat64(val float64, op func(a, b float64) float64) float64 {
 	all := c.AllGather(val)
 	acc := all[0].(float64)
@@ -275,7 +286,9 @@ func (c *Comm) Scatter(root int, vals []any) any {
 			}
 			c.Send(d, scatterTag, vals[d])
 		}
+		//lint:allow mpicollective collective implementation: both the root and non-root arms end in Barrier, so arrival is symmetric
 		c.Barrier()
+		//lint:allow mpicollective the non-root path below also reaches Barrier before returning
 		return vals[root]
 	}
 	v := c.Recv(root, scatterTag)
