@@ -35,6 +35,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/so"
 	"repro/internal/subhalo"
+	"repro/internal/supervise"
 	"repro/internal/tracking"
 	"repro/internal/transit"
 )
@@ -700,6 +701,48 @@ func BenchmarkParallelSort(b *testing.B) {
 			perm := make([]int, n)
 			dparallel.Iota(perm)
 			dparallel.ParallelSortByKey(dparallel.Parallel{}, perm, keys)
+		}
+	})
+}
+
+// BenchmarkSupervisedCampaign measures the overhead of gray-failure
+// supervision on a fault-free campaign. The heartbeat is a pure function
+// polled once per miss window by a single watchdog event (not one event
+// per beat), so the supervised run should stay within a few percent of
+// the unsupervised baseline (EXPERIMENTS.md tracks the measured ratio,
+// target < 3%).
+func BenchmarkSupervisedCampaign(b *testing.B) {
+	const steps = 20
+	scenario := func(b *testing.B) *core.Scenario {
+		s, err := core.DownscaledScenario(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.PostQueueWait = 0
+		return s
+	}
+	b.Run("baseline", func(b *testing.B) {
+		s := scenario(b)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Campaign(s, steps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("supervised", func(b *testing.B) {
+		s := scenario(b)
+		pol := supervise.DefaultPolicy()
+		s.Supervise = &pol
+		var rep *core.CampaignReport
+		for i := 0; i < b.N; i++ {
+			var err error
+			if rep, err = core.Campaign(s, steps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Fault-free: supervision must watch every job and recover nothing.
+		if rep.Resilience.HedgesLaunched != 0 || rep.AnalysisJobs != steps {
+			b.Fatalf("fault-free supervised campaign misbehaved: %+v", rep.Resilience)
 		}
 	})
 }

@@ -24,6 +24,16 @@
 //
 //	workflow-sim -campaign 20 -out run/ -crash-time 9000
 //	workflow-sim -resume run/
+//
+// With -gray, gray failures (job slowdowns, mid-run stalls, in-situ
+// slowdowns, submit refusals, transit lag — tuned by -gray-slow,
+// -gray-stall, -gray-insitu, -gray-submit, -gray-lag) are injected and
+// recovered by heartbeat/deadline/straggler supervision with hedged
+// re-execution; -step-budget arms adaptive in-situ→off-line degradation
+// and -decisions prints the supervision decision log:
+//
+//	workflow-sim -resilience -gray
+//	workflow-sim -campaign 20 -gray -step-budget 900 -decisions
 package main
 
 import (
@@ -53,7 +63,15 @@ func main() {
 		campaign   = flag.Int("campaign", 0, "full co-scheduled campaign over N snapshots (pile-up statistics)")
 		machines   = flag.Bool("machines", false, "compare analysis machines for the post job (§4.2 Titan/Rhea/Moonlight trade-off)")
 		resilience = flag.Bool("resilience", false, "compare workflow degradation under injected failures (job death, node drains, write faults, listener outages)")
-		faultSeed  = flag.Int64("fault-seed", 1, "fault injector seed (with -resilience)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injector seed (with -resilience/-gray)")
+		gray       = flag.Bool("gray", false, "add gray failures (job slowdowns, mid-run stalls, in-situ slowdowns, submit refusals, transit lag) to -resilience and -campaign runs; supervision recovers them")
+		graySlow   = flag.Float64("gray-slow", 0.25, "with -gray: per-attempt job slowdown probability")
+		grayStall  = flag.Float64("gray-stall", 0.2, "with -gray: per-attempt mid-run stall probability")
+		grayInsitu = flag.Float64("gray-insitu", 0.3, "with -gray: per-step in-situ analysis slowdown probability")
+		graySubmit = flag.Float64("gray-submit", 0.15, "with -gray: per-try listener submit refusal probability")
+		grayLag    = flag.Float64("gray-lag", 0.2, "with -gray: per-delivery transit lag probability")
+		stepBudget = flag.Float64("step-budget", 0, "with -gray: in-situ seconds budget per step; over-budget steps spill their center work to the off-line path")
+		decisions  = flag.Bool("decisions", false, "with -gray -campaign: print the supervision decision log")
 		all        = flag.Bool("all", false, "run everything")
 		seed       = flag.Int64("seed", 1, "population synthesis seed")
 		outDir     = flag.String("out", "", "with -campaign: persist products under this directory behind a crash-consistent journal (the campaign becomes resumable)")
@@ -62,6 +80,16 @@ func main() {
 		crashStep  = flag.Int("crash-step", 0, "with -out/-resume: kill the engine mid-write of this step's Level 2 file, leaving a torn file")
 	)
 	flag.Parse()
+	// The gray profile is validated at the flag boundary: a malformed
+	// probability or factor range dies here, not mid-campaign.
+	var grayP *fault.Profile
+	if *gray {
+		p := grayFaultProfile(*faultSeed, *graySlow, *grayStall, *grayInsitu, *graySubmit, *grayLag)
+		if err := p.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		grayP = &p
+	}
 	ran := false
 	run := func(enabled bool, fn func(int64) error) {
 		if !enabled && !*all {
@@ -83,7 +111,7 @@ func main() {
 	run(*subhalo, subhaloStudy)
 	run(*autosplit, autoSplit)
 	run(*machines, machineComparison)
-	run(*resilience, func(seed int64) error { return resilienceStudy(seed, *faultSeed) })
+	run(*resilience, func(seed int64) error { return resilienceStudy(seed, *faultSeed, grayP) })
 	if *coschedule > 0 || *all {
 		ran = true
 		n := *coschedule
@@ -112,7 +140,7 @@ func main() {
 		if *outDir != "" {
 			err = persistedCampaign(*seed, n, *outDir, *crashTime, *crashStep)
 		} else {
-			err = campaignStudy(*seed, n)
+			err = campaignStudy(*seed, n, grayP, *stepBudget, *decisions)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -168,7 +196,21 @@ func defaultFaultProfile(faultSeed int64) fault.Profile {
 	}
 }
 
-func resilienceStudy(seed, faultSeed int64) error {
+// grayFaultProfile is the gray-weather profile the -gray flag family
+// tunes: nothing in it kills a job outright — every disruption is a
+// slowdown, stall, refusal or lag that only supervision can see.
+func grayFaultProfile(faultSeed int64, slow, stall, insitu, submit, lag float64) fault.Profile {
+	return fault.Profile{
+		Seed:               faultSeed,
+		JobSlowdownProb:    slow,
+		JobStallProb:       stall,
+		InSituSlowdownProb: insitu,
+		SubmitFailProb:     submit,
+		TransitDelayProb:   lag,
+	}
+}
+
+func resilienceStudy(seed, faultSeed int64, grayP *fault.Profile) error {
 	s, err := core.DownscaledScenario(seed)
 	if err != nil {
 		return err
@@ -176,6 +218,15 @@ func resilienceStudy(seed, faultSeed int64) error {
 	s.Timesteps = 5
 	s.PostQueueWait = 0
 	p := defaultFaultProfile(faultSeed)
+	if grayP != nil {
+		// Layer gray weather on top of the fail-stop mix: the supervised
+		// run faces both at once.
+		p.JobSlowdownProb = grayP.JobSlowdownProb
+		p.JobStallProb = grayP.JobStallProb
+		p.InSituSlowdownProb = grayP.InSituSlowdownProb
+		p.SubmitFailProb = grayP.SubmitFailProb
+		p.TransitDelayProb = grayP.TransitDelayProb
+	}
 	rows, err := core.ResilienceStudy(s, p)
 	if err != nil {
 		return err
@@ -186,6 +237,12 @@ func resilienceStudy(seed, faultSeed int64) error {
 		p.ListenerOutages[0].Start, p.ListenerOutages[0].End,
 		p.NodeDrains[0].Nodes, p.NodeDrains[0].Start, p.NodeDrains[0].End,
 		4, 30.0)
+	if grayP != nil {
+		fmt.Printf("Gray weather on top (%.0f%% slowdown, %.0f%% stall, %.0f%% in-situ slowdown, %.0f%% submit refusal, %.0f%% lag);\n"+
+			"supervision: heartbeats, deadlines, hedged re-execution, adaptive degradation:\n",
+			100*p.JobSlowdownProb, 100*p.JobStallProb, 100*p.InSituSlowdownProb,
+			100*p.SubmitFailProb, 100*p.TransitDelayProb)
+	}
 	fmt.Print(core.FormatResilience(rows))
 	return nil
 }
@@ -244,12 +301,18 @@ func persistedCampaign(seed int64, steps int, dir string, crashTime float64, cra
 	return nil
 }
 
-func campaignStudy(seed int64, steps int) error {
+func campaignStudy(seed int64, steps int, grayP *fault.Profile, stepBudget float64, decisions bool) error {
 	s, err := core.DownscaledScenario(seed)
 	if err != nil {
 		return err
 	}
 	s.PostQueueWait = 0
+	if grayP != nil {
+		s.Faults = grayP
+		if stepBudget > 0 {
+			s.Degrade = &core.DegradePolicy{StepBudget: stepBudget, RescueLost: true}
+		}
+	}
 	rep, err := core.Campaign(s, steps)
 	if err != nil {
 		return err
@@ -261,6 +324,17 @@ func campaignStudy(seed int64, steps int) error {
 		rep.SimpleWallClock, 100*(1-rep.TotalWallClock/rep.SimpleWallClock))
 	fmt.Printf("  analysis jobs: %d, %.0f%% overlapped the simulation, max pile-up %d\n",
 		rep.AnalysisJobs, 100*rep.OverlapFraction, rep.MaxPileUp)
+	if grayP != nil {
+		res := rep.Resilience
+		fmt.Printf("  gray weather: %d stalls, %d hedges (%d backup wins), %d submit refusals (%d breaker trips, %d skips)\n",
+			res.Stalls, res.HedgesLaunched, res.HedgeWins, res.SubmitFaults, res.BreakerOpens, res.BreakerSkips)
+		fmt.Printf("  degradation:  %d steps spilled off-line, %d lost jobs rescued, %.2f node-hours lost to stragglers\n",
+			res.DegradedSteps, res.RescuedSteps, res.StragglerNodeHours)
+		if decisions {
+			fmt.Println("  supervision decision log:")
+			fmt.Print(core.FormatDecisions(rep.Decisions))
+		}
+	}
 	return nil
 }
 

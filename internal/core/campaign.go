@@ -6,6 +6,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/fs"
 	"repro/internal/sched"
+	"repro/internal/supervise"
 )
 
 // CampaignReport summarizes a full multi-snapshot analysis campaign under
@@ -40,6 +41,9 @@ type CampaignReport struct {
 	// through ResumableCampaign (all zero on a fresh, uncrashed run, so a
 	// persisted campaign's report stays comparable to Campaign's).
 	Resume ResumeStats
+	// Decisions is the supervision decision log when the campaign was
+	// supervised (nil otherwise).
+	Decisions []supervise.Decision
 }
 
 // l2Path is the modelled storage path of one step's Level 2 file (also the
@@ -93,7 +97,6 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 		return nil, false, err
 	}
 	perStepPost := ph.l2Read + ph.l2Redist + ph.postCenter + ph.l3Write
-	stepDur := s.StepInterval + ph.fof + ph.centerSmallMax + ph.l2Write + ph.l3Write
 
 	var sim des.Sim
 	inj := s.injector()
@@ -112,7 +115,33 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 		return nil, false, err
 	}
 	faultCluster(postCluster, inj, s.retry())
+	// One supervisor watches both clusters: hedged re-execution and loss
+	// declarations land in a single ordered decision log.
+	deg := s.degradePolicy()
+	sup := s.supervision(&sim)
+	simCluster.Supervise = sup
+	postCluster.Supervise = sup
+	pl := newStepPlanner(s, ph, inj, deg, ph.l2Write, perStepPost)
 	rep := &CampaignReport{Timesteps: timesteps}
+	// Hedged backups re-run the primary's OnStart and rescued analysis
+	// jobs re-fire completions, so the persistence hooks are deduplicated
+	// per step — a product can land (and be journaled) at most once.
+	landedOnce := map[int]bool{}
+	postOnce := map[int]bool{}
+	stepLanded := func(step int) {
+		if h.onStepLanded == nil || landedOnce[step] {
+			return
+		}
+		landedOnce[step] = true
+		h.onStepLanded(step)
+	}
+	postDone := func(step int) {
+		if h.onPostDone == nil || postOnce[step] {
+			return
+		}
+		postOnce[step] = true
+		h.onPostDone(step)
+	}
 	var jobStarts []float64
 	seq := 0
 	listener := &sched.Listener{
@@ -122,16 +151,24 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 		Faults:       inj,
 		MakeJob: func(path string, f *fs.File) *sched.Job {
 			seq++
-			j := &sched.Job{Name: fmt.Sprintf("post-%03d", seq), Nodes: s.PostNodes, Duration: perStepPost}
+			step := seq
+			stepKnown := false
+			if _, err := fmt.Sscanf(path, "l2/step%d.gio", &step); err == nil {
+				stepKnown = true
+			}
+			j := &sched.Job{Name: fmt.Sprintf("post-%03d", seq), Nodes: s.PostNodes, Duration: pl.postDur(step)}
 			j.OnStart = func(j *sched.Job) { jobStarts = append(jobStarts, j.StartTime) }
-			if h.onPostDone != nil {
-				var step int
-				if _, err := fmt.Sscanf(path, "l2/step%d.gio", &step); err == nil {
-					j.OnComplete = func(*sched.Job) { h.onPostDone(step) }
-				}
+			if h.onPostDone != nil && stepKnown {
+				j.OnComplete = func(*sched.Job) { postDone(step) }
+			}
+			if deg.RescueLost {
+				rescueOnLoss(postCluster, j, &rep.Resilience, sup)
 			}
 			return j
 		},
+	}
+	if sup != nil {
+		listener.Breaker = supervise.NewBreaker(sim.Now)
 	}
 	if err := listener.Start(); err != nil {
 		return nil, false, err
@@ -139,17 +176,16 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	for _, step := range h.preSeenSteps {
 		listener.MarkSeen(l2Path(step))
 	}
-	remaining := timesteps - start + 1
-	if remaining < 0 {
-		remaining = 0
-	}
+	// Per-step durations under gray in-situ slowdowns and the degrade
+	// policy; fault-free this is exactly remaining * nominal stepDur.
+	offsets, simDur := pl.planEmissions(start, timesteps, &rep.Resilience, sup)
 	simJob := &sched.Job{
 		Name: "sim", Nodes: s.SimNodes,
-		Duration: float64(remaining) * stepDur,
+		Duration: simDur,
 		OnStart: func(j *sched.Job) {
 			attempt := j.Attempt
 			for step := start; step <= timesteps; step++ {
-				at := j.StartTime + float64(step-start+1)*stepDur
+				at := j.StartTime + offsets[step]
 				step := step
 				sim.At(at, func() {
 					if j.Attempt != attempt {
@@ -157,9 +193,7 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 					}
 					redriveWrite(&sim, storage, &rep.Resilience,
 						l2Path(step), ph.levels.Level2Bytes, writeRedriveDelay, 0, func() {
-							if h.onStepLanded != nil {
-								h.onStepLanded(step)
-							}
+							stepLanded(step)
 						})
 				})
 			}
@@ -168,7 +202,17 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 			rep.SimWallClock = j.EndTime
 			sim.After(1, func() {
 				listener.Stop()
-				listener.FinalSweep()
+				listener.Drain(s.ListenerPoll, drainSweeps)
+			})
+		},
+		// Supervision may declare the sim job lost: stop the listener and
+		// sweep whatever landed so the campaign degrades instead of
+		// spinning the poll loop forever.
+		OnGiveUp: func(*sched.Job) {
+			rep.SimWallClock = sim.Now()
+			sim.After(1, func() {
+				listener.Stop()
+				listener.Drain(s.ListenerPoll, drainSweeps)
 			})
 		},
 	}
@@ -187,6 +231,7 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	rep.Resilience.addCluster(postCluster)
 	rep.Resilience.addFS(storage)
 	rep.Resilience.addListener(listener)
+	rep.Decisions = sup.Decisions()
 	rep.TotalWallClock = sim.Now()
 	rep.AnalysisJobs = len(postCluster.Finished())
 	rep.MaxPileUp = postCluster.MaxPendingSeen

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/supervise"
+)
+
+// DegradePolicy is the paper's escape hatch made adaptive: "If it turns
+// out that the analysis tasks are too compute-intensive ... the data would
+// be moved off to the analysis cluster" (§4.2). When a step's (slowed)
+// in-situ analysis blows StepBudget, the step keeps only halo finding
+// in-situ and spills the small-halo center work to the Level-2 off-line
+// path — the campaign degrades instead of failing.
+type DegradePolicy struct {
+	// StepBudget is the in-situ analysis time budget per step in seconds;
+	// 0 disables budget-based degradation.
+	StepBudget float64
+	// RescueLost resubmits one replacement analysis job when a supervised
+	// post job is declared lost (one rescue deep — the rescue itself is
+	// not rescued).
+	RescueLost bool
+}
+
+// supervision builds the run's supervisor: the explicit policy when set,
+// the default policy when the fault profile injects gray failures (a
+// stalled job would otherwise hang the campaign forever), nil otherwise —
+// keeping failure-free and fail-stop-only runs on their exact original
+// event sequences.
+func (s *Scenario) supervision(sim *des.Sim) *supervise.Supervisor {
+	if s.Supervise != nil {
+		return supervise.New(sim, *s.Supervise)
+	}
+	if s.Faults != nil && s.Faults.GrayEnabled() {
+		return supervise.New(sim, supervise.DefaultPolicy())
+	}
+	return nil
+}
+
+// degradePolicy resolves the scenario's degradation behaviour: the
+// explicit policy when set, rescue-only when gray failures are injected
+// (so a lost analysis job degrades to a resubmission instead of a missing
+// product), zero otherwise.
+func (s *Scenario) degradePolicy() DegradePolicy {
+	if s.Degrade != nil {
+		return *s.Degrade
+	}
+	if s.Faults != nil && s.Faults.GrayEnabled() {
+		return DegradePolicy{RescueLost: true}
+	}
+	return DegradePolicy{}
+}
+
+// stepPlanner derives each timestep's in-situ and post-job durations under
+// gray in-situ slowdowns and the degrade policy. All decisions are pure
+// functions of (profile seed, step), so two runs plan identically and a
+// resumed campaign re-plans exactly what the crashed one planned.
+type stepPlanner struct {
+	interval  float64 // simulation segment between outputs
+	insituNom float64 // nominal in-situ analysis (fof + small-halo centers)
+	fof       float64 // irreducible in-situ part (halo finding feeds the split)
+	writes    float64 // per-step writes inside the sim job (l2 + l3)
+	postNom   float64 // nominal post-job duration
+	spill     float64 // post-side cost of spilled small-halo centers
+	budget    float64 // in-situ budget; 0 = never degrade
+	inj       *fault.Injector
+}
+
+func newStepPlanner(s *Scenario, ph *phases, inj *fault.Injector, deg DegradePolicy, l2Write, perStepPost float64) *stepPlanner {
+	return &stepPlanner{
+		interval:  s.StepInterval,
+		insituNom: ph.fof + ph.centerSmallMax,
+		fof:       ph.fof,
+		writes:    l2Write + ph.l3Write,
+		postNom:   perStepPost,
+		spill:     ph.postSpillCenter,
+		budget:    deg.StepBudget,
+		inj:       inj,
+	}
+}
+
+// stepDur returns the step's full duration inside the simulation job and
+// whether the step degraded (spilled its center work off-line).
+func (pl *stepPlanner) stepDur(step int) (float64, bool) {
+	f := pl.inj.StepSlowdown(step)
+	insitu := pl.insituNom * f
+	if pl.budget > 0 && insitu > pl.budget {
+		return pl.interval + pl.fof*f + pl.writes, true
+	}
+	return pl.interval + insitu + pl.writes, false
+}
+
+// postDur returns the step's post-job duration (spill included when the
+// step degraded).
+func (pl *stepPlanner) postDur(step int) float64 {
+	if _, degraded := pl.stepDur(step); degraded {
+		return pl.postNom + pl.spill
+	}
+	return pl.postNom
+}
+
+// planEmissions walks steps first..last, accounting degraded steps into
+// res and the supervisor log, and returns each step's cumulative
+// end-offset within the simulation job plus the job's total duration.
+func (pl *stepPlanner) planEmissions(first, last int, res *Resilience, sup *supervise.Supervisor) (map[int]float64, float64) {
+	offsets := make(map[int]float64, last-first+1)
+	cum := 0.0
+	for step := first; step <= last; step++ {
+		dur, degraded := pl.stepDur(step)
+		cum += dur
+		offsets[step] = cum
+		if degraded {
+			res.DegradedSteps++
+			sup.Note(fmt.Sprintf("step%03d", step), "degrade",
+				fmt.Sprintf("in-situ %.0fs over %.0fs budget; centers spill off-line", pl.insituNom*pl.inj.StepSlowdown(step), pl.budget))
+		}
+	}
+	return offsets, cum
+}
+
+// rescueOnLoss arms a post job with a one-deep rescue: if supervision
+// declares it lost, a replacement carrying the same callbacks is submitted
+// (the replacement itself has no rescue).
+func rescueOnLoss(cluster *sched.Cluster, j *sched.Job, res *Resilience, sup *supervise.Supervisor) {
+	j.OnGiveUp = func(*sched.Job) {
+		res.RescuedSteps++
+		sup.Note(j.Name, "rescue", "lost analysis job resubmitted")
+		rescue := &sched.Job{Name: j.Name + "~r", Nodes: j.Nodes, Duration: j.Duration,
+			OnStart: j.OnStart, OnComplete: j.OnComplete}
+		_ = cluster.Submit(rescue)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/supervise"
 )
 
 // Scenario fixes everything a workflow comparison needs: the machine, the
@@ -56,6 +57,16 @@ type Scenario struct {
 	// Retry governs resubmission of failed jobs when Faults are active;
 	// the zero value means sched.DefaultRetry.
 	Retry sched.RetryPolicy
+	// Supervise optionally overrides the gray-failure supervision policy.
+	// nil enables supervise.DefaultPolicy() exactly when Faults injects
+	// gray failures (slowdowns, stalls, degraded windows, submit refusals)
+	// — a stalled attempt can only be recovered by supervision — and
+	// leaves fail-stop-only and failure-free runs unsupervised.
+	Supervise *supervise.Policy
+	// Degrade optionally overrides the adaptive degradation policy. nil
+	// means rescue-only degradation when gray failures are injected, and
+	// no degradation otherwise.
+	Degrade *DegradePolicy
 }
 
 // Validate reports scenario construction errors.
@@ -73,7 +84,18 @@ func (s *Scenario) Validate() error {
 	if err := s.Machine.Validate(); err != nil {
 		return err
 	}
-	return s.PostMachine.Validate()
+	if err := s.PostMachine.Validate(); err != nil {
+		return err
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Degrade != nil && s.Degrade.StepBudget < 0 {
+		return fmt.Errorf("core: scenario %q step budget %g", s.Name, s.Degrade.StepBudget)
+	}
+	return nil
 }
 
 // TotalParticles returns NP³.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/sched"
+	"repro/internal/supervise"
 )
 
 // Kind selects one of the paper's workflow strategies (Figure 1, Table 3).
@@ -65,6 +66,12 @@ type Report struct {
 	// Resilience accounts failures and recoveries when the scenario has a
 	// fault profile (all zero otherwise).
 	Resilience Resilience
+
+	// Decisions is the supervision decision log when the run was
+	// supervised (nil otherwise) — a deterministic record of every watch,
+	// suspect, hedge, degrade and rescue, identical across reruns of the
+	// same seed.
+	Decisions []supervise.Decision
 }
 
 // SimJobTotal is the simulation job's wall time per analysis step.
@@ -81,18 +88,19 @@ func (r *Report) PostJobTotal() float64 {
 // phases computes the deterministic per-step phase durations shared by
 // all workflows of a scenario.
 type phases struct {
-	fof            float64 // per-node FOF (max node)
-	centerAllMax   float64 // max-node in-situ centers, all halos
-	centerSmallMax float64 // max-node in-situ centers, halos <= threshold
-	postCenter     float64 // makespan of off-line centers for large halos
-	levels         DataLevels
-	l1Write        float64
-	l1Read         float64
-	l1Redist       float64
-	l2Write        float64
-	l2Read         float64
-	l2Redist       float64
-	l3Write        float64
+	fof             float64 // per-node FOF (max node)
+	centerAllMax    float64 // max-node in-situ centers, all halos
+	centerSmallMax  float64 // max-node in-situ centers, halos <= threshold
+	postCenter      float64 // makespan of off-line centers for large halos
+	postSpillCenter float64 // off-line cost of spilled small-halo centers
+	levels          DataLevels
+	l1Write         float64
+	l1Read          float64
+	l1Redist        float64
+	l2Write         float64
+	l2Read          float64
+	l2Redist        float64
+	l3Write         float64
 }
 
 func computePhases(s *Scenario) (*phases, error) {
@@ -124,6 +132,11 @@ func computePhases(s *Scenario) (*phases, error) {
 	ph.postCenter = totalLarge / float64(s.PostNodes)
 	if tMax > ph.postCenter {
 		ph.postCenter = tMax
+	}
+	// A degraded step spills the small-halo center work to the off-line
+	// job; well-balanced small halos amortize over the post nodes.
+	if s.SplitThreshold > 0 {
+		ph.postSpillCenter = s.Population.PairSum(0, s.SplitThreshold) * postPairCost / float64(s.PostNodes)
 	}
 
 	ph.l1Write = s.Machine.IOSeconds(lv.Level1Bytes, s.SimNodes)
@@ -166,6 +179,12 @@ const redriveLimit = 8
 // writeRedriveDelay is the virtual-seconds pause before a failed or
 // truncated Level 2 write is re-driven.
 const writeRedriveDelay = 5.0
+
+// drainSweeps bounds the listener's post-run drain (Listener.Drain): a
+// pathological profile refusing every submission cannot hang the run, and
+// under realistic refusal rates every analysis is submitted well before
+// the bound.
+const drainSweeps = 40
 
 // redriveWrite performs one Level 1/Level 2 write, verifies the landed
 // size against the writer's intent, and re-drives the write after delay
@@ -228,6 +247,7 @@ func runInSitu(s *Scenario, ph *phases) (*Report, error) {
 		return nil, err
 	}
 	faultCluster(cluster, s.injector(), s.retry())
+	cluster.Supervise = s.supervision(&sim)
 	analysis := ph.fof + ph.centerAllMax
 	write := ph.l3Write
 	stepDur := s.StepInterval + analysis + write
@@ -237,6 +257,7 @@ func runInSitu(s *Scenario, ph *phases) (*Report, error) {
 	}
 	sim.Run()
 	r.Resilience.addCluster(cluster)
+	r.Decisions = cluster.Supervise.Decisions()
 	r.SimSeconds = float64(s.Timesteps) * s.StepInterval
 	r.AnalysisSeconds = float64(s.Timesteps) * analysis
 	r.SimWriteSeconds = float64(s.Timesteps) * write
@@ -261,6 +282,7 @@ func runOffline(s *Scenario, ph *phases) (*Report, error) {
 		return nil, err
 	}
 	faultCluster(cluster, s.injector(), s.retry())
+	cluster.Supervise = s.supervision(&sim)
 	cluster.ExtraQueueWait = func(j *sched.Job) float64 {
 		if j.Name == "offline-analysis" {
 			return s.OfflineQueueWait
@@ -284,6 +306,7 @@ func runOffline(s *Scenario, ph *phases) (*Report, error) {
 	}
 	sim.Run()
 	r.Resilience.addCluster(cluster)
+	r.Decisions = cluster.Supervise.Decisions()
 	steps := float64(s.Timesteps)
 	r.SimSeconds = steps * s.StepInterval
 	r.SimWriteSeconds = steps * ph.l1Write
@@ -352,9 +375,20 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 	faultCluster(postCluster, inj, s.retry())
 	postCluster.ExtraQueueWait = func(*sched.Job) float64 { return postQueueWait }
 
+	// Gray-failure supervision: one supervisor watches both clusters so
+	// the decision log is a single ordered record of the whole run.
+	deg := s.degradePolicy()
+	sup := s.supervision(&sim)
+	cluster.Supervise = sup
+	postCluster.Supervise = sup
+	pl := newStepPlanner(s, ph, inj, deg, l2Write, perStepPost)
+
 	newPostJob := func(step int) *sched.Job {
 		j := &sched.Job{Name: fmt.Sprintf("post-%03d", step), Nodes: s.PostNodes, Duration: perStepPost}
 		j.OnStart = func(j *sched.Job) { r.AnalysisJobStarts = append(r.AnalysisJobStarts, j.StartTime) }
+		if deg.RescueLost {
+			rescueOnLoss(postCluster, j, &r.Resilience, sup)
+		}
 		return j
 	}
 
@@ -368,18 +402,54 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 			Faults:       inj,
 			MakeJob: func(path string, f *fs.File) *sched.Job {
 				jobSeq++
-				return newPostJob(jobSeq)
+				j := newPostJob(jobSeq)
+				// Size the job for the step the file belongs to: a degraded
+				// step's job carries the spilled center work.
+				step := jobSeq
+				fmt.Sscanf(path, "l2/step%d.gio", &step)
+				j.Duration = pl.postDur(step)
+				return j
 			},
+		}
+		if sup != nil {
+			listener.Breaker = supervise.NewBreaker(sim.Now)
 		}
 		if err := listener.Start(); err != nil {
 			return nil, err
 		}
 	}
 
-	stepDur := s.StepInterval + analysisInSitu + l2Write + ph.l3Write
+	// Per-step durations under gray slowdowns and the degrade policy; the
+	// fault-free plan collapses to Timesteps * nominal stepDur exactly.
+	offsets, simDur := pl.planEmissions(1, s.Timesteps, &r.Resilience, sup)
+	wrapUp := func() {
+		if listener != nil {
+			// "an additional instance of the listener would run after
+			// the job completes to catch the last output data" (§3.2):
+			// sweep one tick later so the final step's Level 2 file —
+			// whose visibility event shares this timestamp — is seen.
+			// Drain keeps re-sweeping while submit refusals (or a
+			// cooling breaker) hold back the last analyses.
+			sim.After(1, func() {
+				listener.Stop()
+				listener.Drain(s.ListenerPoll, drainSweeps)
+			})
+			return
+		}
+		// Simple & in-transit: one post job covering all timesteps,
+		// queued after the simulation ("One 4-node job covering all
+		// timesteps ... queued after sim", Table 4).
+		post := newPostJob(0)
+		total := 0.0
+		for step := 1; step <= s.Timesteps; step++ {
+			total += pl.postDur(step)
+		}
+		post.Duration = total
+		_ = postCluster.Submit(post)
+	}
 	simJob := &sched.Job{
 		Name: "sim+insitu", Nodes: s.SimNodes,
-		Duration: float64(s.Timesteps) * stepDur,
+		Duration: simDur,
 		OnStart: func(j *sched.Job) {
 			// Emit one Level 2 file per timestep as the run progresses.
 			// Writes are verified and re-driven on failure or truncation;
@@ -387,7 +457,7 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 			// j.Attempt below).
 			attempt := j.Attempt
 			for step := 1; step <= s.Timesteps; step++ {
-				at := j.StartTime + float64(step)*stepDur
+				at := j.StartTime + offsets[step]
 				step := step
 				sim.At(at, func() {
 					if j.Attempt != attempt {
@@ -398,25 +468,11 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 				})
 			}
 		},
-		OnComplete: func(*sched.Job) {
-			if listener != nil {
-				// "an additional instance of the listener would run after
-				// the job completes to catch the last output data" (§3.2):
-				// sweep one tick later so the final step's Level 2 file —
-				// whose visibility event shares this timestamp — is seen.
-				sim.After(1, func() {
-					listener.Stop()
-					listener.FinalSweep()
-				})
-				return
-			}
-			// Simple & in-transit: one post job covering all timesteps,
-			// queued after the simulation ("One 4-node job covering all
-			// timesteps ... queued after sim", Table 4).
-			post := newPostJob(0)
-			post.Duration = float64(s.Timesteps) * perStepPost
-			_ = postCluster.Submit(post)
-		},
+		OnComplete: func(*sched.Job) { wrapUp() },
+		// Supervision may declare the sim job lost (hedging budget
+		// exhausted): wrap up anyway so the listener stops and whatever
+		// landed still gets analyzed — the run degrades, it never hangs.
+		OnGiveUp: func(*sched.Job) { wrapUp() },
 	}
 	if err := cluster.Submit(simJob); err != nil {
 		return nil, err
@@ -428,6 +484,7 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 	if listener != nil {
 		r.Resilience.addListener(listener)
 	}
+	r.Decisions = sup.Decisions()
 
 	steps := float64(s.Timesteps)
 	r.SimSeconds = steps * s.StepInterval

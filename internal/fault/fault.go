@@ -20,6 +20,7 @@
 package fault
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 )
@@ -57,6 +58,15 @@ func (c Crash) Armed() bool { return c.AtTime > 0 || c.AtStep > 0 }
 type Drain struct {
 	Window
 	Nodes int
+}
+
+// Degraded marks a window during which the machine is sick but not down —
+// a failing fabric link, a thermally throttled rack — the canonical gray
+// failure: everything still "works", just slower. Jobs that *start* inside
+// the window run Factor times longer than nominal (Factor >= 1).
+type Degraded struct {
+	Window
+	Factor float64
 }
 
 // Profile declares the fault classes and their rates. The zero value
@@ -100,13 +110,151 @@ type Profile struct {
 	// run to completion. A crash/resume/crash/resume torn-run schedule is
 	// simply a list of two crashes.
 	Crashes []Crash
+
+	// --- gray failures: nothing dies, everything limps ---
+
+	// JobSlowdownProb is the probability one job attempt runs slow (a sick
+	// node, contended I/O). The factor is drawn uniformly from
+	// [JobSlowdownFactorMin, JobSlowdownFactorMax] (default [1.5, 4] when
+	// both are zero); factors below 1 are rejected by Validate.
+	JobSlowdownProb                            float64
+	JobSlowdownFactorMin, JobSlowdownFactorMax float64
+
+	// JobStallProb is the probability one job attempt hangs mid-run — it
+	// holds its nodes, emits no further progress, and never completes. The
+	// stall point is drawn uniformly from JobStallFrac of the attempt's
+	// duration (default [0.05, 0.95] when both are zero). Only deadline or
+	// heartbeat supervision can recover a stalled attempt.
+	JobStallProb                     float64
+	JobStallFracMin, JobStallFracMax float64
+
+	// DegradedNodes are machine-sickness windows: jobs starting inside run
+	// Factor times slower.
+	DegradedNodes []Degraded
+
+	// InSituSlowdownProb is the probability one timestep's in-situ analysis
+	// runs slow (halo-population pathologies, §4.2's subhalo imbalance);
+	// the factor is drawn from [InSituSlowdownFactorMin, Max] (default
+	// [1.5, 4]). This is the gray failure the DegradePolicy escape hatch
+	// answers: blow the step budget and the work spills off-line.
+	InSituSlowdownProb                               float64
+	InSituSlowdownFactorMin, InSituSlowdownFactorMax float64
+
+	// SubmitFailProb is the probability one listener submission attempt is
+	// refused transiently (batch front-end overloaded); the listener's
+	// circuit breaker turns repeated refusals into backoff.
+	SubmitFailProb float64
+
+	// TransitDelayProb is the probability one in-transit delivery lags by a
+	// delay drawn uniformly from [TransitDelaySecMin, TransitDelaySecMax]
+	// seconds (default [1, 30]); an ack-deadline reaper redelivers items
+	// stuck past the deadline.
+	TransitDelayProb                       float64
+	TransitDelaySecMin, TransitDelaySecMax float64
 }
 
 // Enabled reports whether the profile can inject any fault at all.
 func (p Profile) Enabled() bool {
 	return p.JobFailureProb > 0 || p.WriteFailProb > 0 || p.WriteTruncateProb > 0 ||
 		p.ConsumerAbortProb > 0 || len(p.ListenerOutages) > 0 || len(p.NodeDrains) > 0 ||
-		len(p.Crashes) > 0
+		len(p.Crashes) > 0 || p.GrayEnabled()
+}
+
+// GrayEnabled reports whether the profile can inject any gray failure —
+// the classes that stall or slow work without killing it, which only
+// deadline/heartbeat supervision can recover.
+func (p Profile) GrayEnabled() bool {
+	return p.JobSlowdownProb > 0 || p.JobStallProb > 0 || len(p.DegradedNodes) > 0 ||
+		p.InSituSlowdownProb > 0 || p.SubmitFailProb > 0 || p.TransitDelayProb > 0
+}
+
+// Validate rejects malformed profiles with descriptive errors instead of
+// letting them silently clamp or misbehave: probabilities outside [0, 1],
+// inverted or empty windows, slowdown factors below 1 (a "slowdown" that
+// speeds work up), inverted fraction ranges, and negative drain sizes or
+// transit delays.
+func (p Profile) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"JobFailureProb", p.JobFailureProb},
+		{"WriteFailProb", p.WriteFailProb},
+		{"WriteTruncateProb", p.WriteTruncateProb},
+		{"ConsumerAbortProb", p.ConsumerAbortProb},
+		{"JobSlowdownProb", p.JobSlowdownProb},
+		{"JobStallProb", p.JobStallProb},
+		{"InSituSlowdownProb", p.InSituSlowdownProb},
+		{"SubmitFailProb", p.SubmitFailProb},
+		{"TransitDelayProb", p.TransitDelayProb},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s = %g is not a probability (want [0, 1])", pr.name, pr.v)
+		}
+	}
+	fracs := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"JobFailureFrac", p.JobFailureFracMin, p.JobFailureFracMax},
+		{"TruncateFrac", p.TruncateFracMin, p.TruncateFracMax},
+		{"JobStallFrac", p.JobStallFracMin, p.JobStallFracMax},
+	}
+	for _, f := range fracs {
+		if f.lo == 0 && f.hi == 0 {
+			continue // unset: defaults apply
+		}
+		if f.lo < 0 || f.hi > 1 || f.hi < f.lo {
+			return fmt.Errorf("fault: %sMin/Max = [%g, %g] is not an ordered sub-range of [0, 1]", f.name, f.lo, f.hi)
+		}
+	}
+	factors := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"JobSlowdownFactor", p.JobSlowdownFactorMin, p.JobSlowdownFactorMax},
+		{"InSituSlowdownFactor", p.InSituSlowdownFactorMin, p.InSituSlowdownFactorMax},
+	}
+	for _, f := range factors {
+		if f.lo == 0 && f.hi == 0 {
+			continue // unset: defaults apply
+		}
+		if f.lo < 1 {
+			return fmt.Errorf("fault: %sMin = %g would speed work up; slowdown factors must be >= 1", f.name, f.lo)
+		}
+		if f.hi < f.lo {
+			return fmt.Errorf("fault: %sMin/Max = [%g, %g] inverted", f.name, f.lo, f.hi)
+		}
+	}
+	for i, w := range p.ListenerOutages {
+		if w.End <= w.Start {
+			return fmt.Errorf("fault: ListenerOutages[%d] = [%g, %g) is inverted or empty", i, w.Start, w.End)
+		}
+	}
+	for i, d := range p.NodeDrains {
+		if d.End <= d.Start {
+			return fmt.Errorf("fault: NodeDrains[%d] window [%g, %g) is inverted or empty", i, d.Start, d.End)
+		}
+		if d.Nodes < 0 {
+			return fmt.Errorf("fault: NodeDrains[%d] drains %d nodes (negative)", i, d.Nodes)
+		}
+	}
+	for i, d := range p.DegradedNodes {
+		if d.End <= d.Start {
+			return fmt.Errorf("fault: DegradedNodes[%d] window [%g, %g) is inverted or empty", i, d.Start, d.End)
+		}
+		if d.Factor != 0 && d.Factor < 1 {
+			return fmt.Errorf("fault: DegradedNodes[%d] factor %g would speed work up; degraded-window factors must be >= 1", i, d.Factor)
+		}
+	}
+	if p.TransitDelaySecMin != 0 || p.TransitDelaySecMax != 0 {
+		if p.TransitDelaySecMin < 0 || p.TransitDelaySecMax < p.TransitDelaySecMin {
+			return fmt.Errorf("fault: TransitDelaySecMin/Max = [%g, %g] negative or inverted",
+				p.TransitDelaySecMin, p.TransitDelaySecMax)
+		}
+	}
+	return nil
 }
 
 // WriteOutcome classifies one file-system write attempt.
@@ -127,9 +275,25 @@ type Injector struct {
 	p Profile
 }
 
-// New builds an injector for the profile. A zero profile yields a valid
-// injector that never injects.
-func New(p Profile) *Injector { return &Injector{p: p} }
+// New builds an injector for the profile, rejecting malformed profiles
+// (see Profile.Validate). A zero profile yields a valid injector that
+// never injects.
+func New(p Profile) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{p: p}, nil
+}
+
+// MustNew is New for profiles known valid (tests, literals); it panics on
+// a validation error.
+func MustNew(p Profile) *Injector {
+	in, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
 
 // Profile returns the injector's profile (zero when the injector is nil).
 func (in *Injector) Profile() Profile {
@@ -251,4 +415,104 @@ func (in *Injector) NodeDrains() []Drain {
 		return nil
 	}
 	return in.p.NodeDrains
+}
+
+// JobSlowdown returns the slowdown factor (>= 1) for the named job's
+// attempt; 1 means the attempt runs at nominal speed.
+func (in *Injector) JobSlowdown(name string, attempt int) float64 {
+	if in == nil || in.p.JobSlowdownProb <= 0 {
+		return 1
+	}
+	r := in.rng("slow", name, attempt)
+	if r.Float64() >= in.p.JobSlowdownProb {
+		return 1
+	}
+	lo, hi := factorRange(in.p.JobSlowdownFactorMin, in.p.JobSlowdownFactorMax)
+	return lo + r.Float64()*(hi-lo)
+}
+
+// JobStall decides whether the named job's attempt hangs mid-run, and if
+// so at which fraction of its (slowed) duration progress stops.
+func (in *Injector) JobStall(name string, attempt int) (stallFrac float64, stall bool) {
+	if in == nil || in.p.JobStallProb <= 0 {
+		return 0, false
+	}
+	r := in.rng("stall", name, attempt)
+	if r.Float64() >= in.p.JobStallProb {
+		return 0, false
+	}
+	lo, hi := fracRange(in.p.JobStallFracMin, in.p.JobStallFracMax, 0.05, 0.95)
+	return lo + r.Float64()*(hi-lo), true
+}
+
+// DegradeFactorAt returns the degraded-node slowdown factor for work
+// starting at virtual time t (1 outside every window; overlapping windows
+// compound).
+func (in *Injector) DegradeFactorAt(t float64) float64 {
+	if in == nil {
+		return 1
+	}
+	f := 1.0
+	for _, d := range in.p.DegradedNodes {
+		if d.Contains(t) {
+			df := d.Factor
+			if df < 1 {
+				df = 2 // unset factor on a declared window: default 2x
+			}
+			f *= df
+		}
+	}
+	return f
+}
+
+// StepSlowdown returns the in-situ analysis slowdown factor (>= 1) for the
+// given timestep.
+func (in *Injector) StepSlowdown(step int) float64 {
+	if in == nil || in.p.InSituSlowdownProb <= 0 {
+		return 1
+	}
+	r := in.rng("insitu", "step", step)
+	if r.Float64() >= in.p.InSituSlowdownProb {
+		return 1
+	}
+	lo, hi := factorRange(in.p.InSituSlowdownFactorMin, in.p.InSituSlowdownFactorMax)
+	return lo + r.Float64()*(hi-lo)
+}
+
+// SubmitFail decides whether the attempt-th submission (0-based) of an
+// analysis job for the given path is refused transiently.
+func (in *Injector) SubmitFail(path string, attempt int) bool {
+	if in == nil || in.p.SubmitFailProb <= 0 {
+		return false
+	}
+	return in.rng("submit", path, attempt).Float64() < in.p.SubmitFailProb
+}
+
+// TransitDelay returns the delivery lag in seconds for the delivery-th
+// hand-out (0-based) of the keyed in-transit item; 0 means on time.
+func (in *Injector) TransitDelay(key string, delivery int) float64 {
+	if in == nil || in.p.TransitDelayProb <= 0 {
+		return 0
+	}
+	r := in.rng("lag", key, delivery)
+	if r.Float64() >= in.p.TransitDelayProb {
+		return 0
+	}
+	lo, hi := in.p.TransitDelaySecMin, in.p.TransitDelaySecMax
+	if lo == 0 && hi == 0 {
+		lo, hi = 1, 30
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// factorRange resolves a slowdown-factor range, defaulting to [1.5, 4]
+// when unset.
+func factorRange(lo, hi float64) (float64, float64) {
+	if lo == 0 && hi == 0 {
+		return 1.5, 4
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }

@@ -1,6 +1,9 @@
 package fault
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestNilInjectorInjectsNothing(t *testing.T) {
 	var in *Injector
@@ -22,7 +25,7 @@ func TestNilInjectorInjectsNothing(t *testing.T) {
 }
 
 func TestZeroProfileInjectsNothing(t *testing.T) {
-	in := New(Profile{Seed: 42})
+	in := MustNew(Profile{Seed: 42})
 	if in.Profile().Enabled() {
 		t.Error("zero profile enabled")
 	}
@@ -43,7 +46,7 @@ func TestZeroProfileInjectsNothing(t *testing.T) {
 // independent of query order.
 func TestDrawsAreSeededAndOrderIndependent(t *testing.T) {
 	p := Profile{Seed: 7, JobFailureProb: 0.5, WriteFailProb: 0.2, WriteTruncateProb: 0.2, ConsumerAbortProb: 0.3}
-	a, b := New(p), New(p)
+	a, b := MustNew(p), MustNew(p)
 
 	// Query b in reverse order; answers must still match a's.
 	type jobDraw struct {
@@ -79,7 +82,7 @@ func TestDrawsAreSeededAndOrderIndependent(t *testing.T) {
 func TestDifferentSeedsDiffer(t *testing.T) {
 	pa := Profile{Seed: 1, JobFailureProb: 0.5}
 	pb := Profile{Seed: 2, JobFailureProb: 0.5}
-	a, b := New(pa), New(pb)
+	a, b := MustNew(pa), MustNew(pb)
 	same := 0
 	const n = 200
 	for i := 0; i < n; i++ {
@@ -95,7 +98,7 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 }
 
 func TestRatesAreRoughlyHonored(t *testing.T) {
-	in := New(Profile{Seed: 3, JobFailureProb: 0.25})
+	in := MustNew(Profile{Seed: 3, JobFailureProb: 0.25})
 	fails := 0
 	const n = 4000
 	for i := 0; i < n; i++ {
@@ -113,7 +116,7 @@ func TestRatesAreRoughlyHonored(t *testing.T) {
 }
 
 func TestWriteOutcomeSplit(t *testing.T) {
-	in := New(Profile{Seed: 4, WriteFailProb: 0.3, WriteTruncateProb: 0.3})
+	in := MustNew(Profile{Seed: 4, WriteFailProb: 0.3, WriteTruncateProb: 0.3})
 	var fail, trunc, ok int
 	const n = 3000
 	for i := 0; i < n; i++ {
@@ -142,7 +145,7 @@ func TestWriteOutcomeSplit(t *testing.T) {
 }
 
 func TestWindowsAndDrains(t *testing.T) {
-	in := New(Profile{
+	in := MustNew(Profile{
 		ListenerOutages: []Window{{Start: 100, End: 200}},
 		NodeDrains:      []Drain{{Window: Window{Start: 50, End: 60}, Nodes: 4}},
 	})
@@ -163,7 +166,7 @@ func TestWindowsAndDrains(t *testing.T) {
 }
 
 func TestCrashSchedule(t *testing.T) {
-	in := New(Profile{Crashes: []Crash{{AtTime: 500}, {AtStep: 3}, {}}})
+	in := MustNew(Profile{Crashes: []Crash{{AtTime: 500}, {AtStep: 3}, {}}})
 	if !in.Profile().Enabled() {
 		t.Error("crash-only profile not enabled")
 	}
@@ -184,5 +187,147 @@ func TestCrashSchedule(t *testing.T) {
 	}
 	if _, ok := (*Injector)(nil).CrashFor(0); ok {
 		t.Error("nil injector crashes")
+	}
+}
+
+func TestValidateRejectsMalformedProfiles(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+		want string
+	}{
+		{"negative probability", Profile{JobFailureProb: -0.1}, "not a probability"},
+		{"probability above one", Profile{JobSlowdownProb: 1.5}, "not a probability"},
+		{"negative gray probability", Profile{SubmitFailProb: -1}, "not a probability"},
+		{"inverted outage window", Profile{ListenerOutages: []Window{{Start: 200, End: 100}}}, "inverted or empty"},
+		{"empty drain window", Profile{NodeDrains: []Drain{{Window: Window{Start: 50, End: 50}, Nodes: 1}}}, "inverted or empty"},
+		{"negative drain", Profile{NodeDrains: []Drain{{Window: Window{Start: 0, End: 10}, Nodes: -2}}}, "negative"},
+		{"inverted degraded window", Profile{DegradedNodes: []Degraded{{Window: Window{Start: 9, End: 3}}}}, "inverted or empty"},
+		{"degraded factor below one", Profile{DegradedNodes: []Degraded{{Window: Window{Start: 0, End: 10}, Factor: 0.5}}}, "must be >= 1"},
+		{"slowdown factor below one", Profile{JobSlowdownProb: 0.1, JobSlowdownFactorMin: 0.5, JobSlowdownFactorMax: 2}, "must be >= 1"},
+		{"inverted slowdown factors", Profile{JobSlowdownFactorMin: 4, JobSlowdownFactorMax: 2}, "inverted"},
+		{"inverted stall fracs", Profile{JobStallFracMin: 0.9, JobStallFracMax: 0.1}, "ordered sub-range"},
+		{"stall frac above one", Profile{JobStallFracMin: 0.5, JobStallFracMax: 1.5}, "ordered sub-range"},
+		{"negative transit delay", Profile{TransitDelaySecMin: -5, TransitDelaySecMax: 10}, "negative or inverted"},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.p)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, nerr := New(tc.p); nerr == nil {
+			t.Errorf("%s: New accepted the profile Validate rejected", tc.name)
+		}
+	}
+	// Valid profiles — including unset (all-zero) ranges — pass.
+	for _, p := range []Profile{
+		{},
+		{Seed: 1, JobSlowdownProb: 0.3, JobStallProb: 0.1, InSituSlowdownProb: 0.2,
+			SubmitFailProb: 0.1, TransitDelayProb: 0.2,
+			DegradedNodes: []Degraded{{Window: Window{Start: 10, End: 20}, Factor: 3}}},
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate rejected valid profile: %v", err)
+		}
+	}
+}
+
+func TestNilInjectorInjectsNoGrayFailures(t *testing.T) {
+	var in *Injector
+	if f := in.JobSlowdown("j", 0); f != 1 {
+		t.Errorf("nil JobSlowdown = %v", f)
+	}
+	if _, stall := in.JobStall("j", 0); stall {
+		t.Error("nil injector stalled a job")
+	}
+	if f := in.DegradeFactorAt(100); f != 1 {
+		t.Errorf("nil DegradeFactorAt = %v", f)
+	}
+	if f := in.StepSlowdown(3); f != 1 {
+		t.Errorf("nil StepSlowdown = %v", f)
+	}
+	if in.SubmitFail("p", 0) {
+		t.Error("nil injector refused a submit")
+	}
+	if d := in.TransitDelay("k", 0); d != 0 {
+		t.Errorf("nil TransitDelay = %v", d)
+	}
+}
+
+func TestGrayDrawsAreSeededAndOrderIndependent(t *testing.T) {
+	p := Profile{Seed: 17, JobSlowdownProb: 0.4, JobStallProb: 0.3,
+		InSituSlowdownProb: 0.5, SubmitFailProb: 0.3, TransitDelayProb: 0.4}
+	a, b := MustNew(p), MustNew(p)
+	// Query b in reverse; every gray draw must match a's.
+	type draw struct {
+		slow, stallFrac, step, lag float64
+		stall, submit              bool
+	}
+	var fwd []draw
+	for i := 0; i < 60; i++ {
+		var d draw
+		d.slow = a.JobSlowdown("sim", i)
+		d.stallFrac, d.stall = a.JobStall("sim", i)
+		d.step = a.StepSlowdown(i)
+		d.submit = a.SubmitFail("l2/step001.gio", i)
+		d.lag = a.TransitDelay("item", i)
+		fwd = append(fwd, d)
+	}
+	for i := 59; i >= 0; i-- {
+		var d draw
+		d.slow = b.JobSlowdown("sim", i)
+		d.stallFrac, d.stall = b.JobStall("sim", i)
+		d.step = b.StepSlowdown(i)
+		d.submit = b.SubmitFail("l2/step001.gio", i)
+		d.lag = b.TransitDelay("item", i)
+		if d != fwd[i] {
+			t.Fatalf("draw %d: %+v != %+v", i, d, fwd[i])
+		}
+	}
+}
+
+func TestGraySlowdownRangesHonored(t *testing.T) {
+	in := MustNew(Profile{Seed: 5, JobSlowdownProb: 1,
+		JobSlowdownFactorMin: 2, JobSlowdownFactorMax: 3})
+	for i := 0; i < 500; i++ {
+		if f := in.JobSlowdown("j", i); f < 2 || f > 3 {
+			t.Fatalf("slowdown %v outside [2, 3]", f)
+		}
+	}
+	// Default factor range is [1.5, 4].
+	din := MustNew(Profile{Seed: 5, InSituSlowdownProb: 1})
+	for i := 0; i < 500; i++ {
+		if f := din.StepSlowdown(i); f < 1.5 || f > 4 {
+			t.Fatalf("step slowdown %v outside default [1.5, 4]", f)
+		}
+	}
+	// Default transit lag range is [1, 30] seconds.
+	tin := MustNew(Profile{Seed: 5, TransitDelayProb: 1})
+	for i := 0; i < 500; i++ {
+		if d := tin.TransitDelay("k", i); d < 1 || d > 30 {
+			t.Fatalf("transit delay %v outside default [1, 30]", d)
+		}
+	}
+}
+
+func TestDegradedWindowsCompound(t *testing.T) {
+	in := MustNew(Profile{DegradedNodes: []Degraded{
+		{Window: Window{Start: 100, End: 300}, Factor: 2},
+		{Window: Window{Start: 200, End: 400}, Factor: 1.5},
+		{Window: Window{Start: 500, End: 600}}, // unset factor: default 2x
+	}})
+	if !in.Profile().GrayEnabled() || !in.Profile().Enabled() {
+		t.Error("degraded-window profile not gray-enabled")
+	}
+	for _, tc := range []struct {
+		t, want float64
+	}{{50, 1}, {150, 2}, {250, 3}, {350, 1.5}, {450, 1}, {550, 2}} {
+		if got := in.DegradeFactorAt(tc.t); got != tc.want {
+			t.Errorf("DegradeFactorAt(%v) = %v, want %v", tc.t, got, tc.want)
+		}
 	}
 }

@@ -11,7 +11,7 @@ import (
 func TestWriteCheckedFailureLandsNothing(t *testing.T) {
 	var sim des.Sim
 	s := New(&sim, "lustre")
-	s.SetFaults(fault.New(fault.Profile{Seed: 1, WriteFailProb: 1}))
+	s.SetFaults(fault.MustNew(fault.Profile{Seed: 1, WriteFailProb: 1}))
 	var got error
 	s.WriteChecked("out/a", 100, 10, nil, func(err error) { got = err })
 	sim.Run()
@@ -29,7 +29,7 @@ func TestWriteCheckedFailureLandsNothing(t *testing.T) {
 func TestWriteCheckedTruncationIsSilentUntilVerified(t *testing.T) {
 	var sim des.Sim
 	s := New(&sim, "lustre")
-	s.SetFaults(fault.New(fault.Profile{Seed: 2, WriteTruncateProb: 1}))
+	s.SetFaults(fault.MustNew(fault.Profile{Seed: 2, WriteTruncateProb: 1}))
 	var got error = errors.New("sentinel")
 	s.WriteChecked("out/a", 1000, 0, nil, func(err error) { got = err })
 	sim.Run()
@@ -69,7 +69,7 @@ func TestVerifySizeAcceptsIntactFile(t *testing.T) {
 func TestWriteAttemptsDrawIndependently(t *testing.T) {
 	var sim des.Sim
 	s := New(&sim, "lustre")
-	s.SetFaults(fault.New(fault.Profile{Seed: 5, WriteFailProb: 0.5}))
+	s.SetFaults(fault.MustNew(fault.Profile{Seed: 5, WriteFailProb: 0.5}))
 	outcomes := map[bool]int{}
 	for i := 0; i < 40; i++ {
 		var failed bool
@@ -86,7 +86,7 @@ func TestWriteAttemptsDrawIndependently(t *testing.T) {
 func TestZeroProfileWritesAreIntact(t *testing.T) {
 	var sim des.Sim
 	s := New(&sim, "lustre")
-	s.SetFaults(fault.New(fault.Profile{Seed: 99}))
+	s.SetFaults(fault.MustNew(fault.Profile{Seed: 99}))
 	var done bool
 	s.Write("out/a", 100, 5, "p", func() { done = true })
 	sim.Run()

@@ -40,6 +40,7 @@ var LockDiscipline = &analysis.Analyzer{
 // applies.
 var chanPkgs = map[string]bool{
 	"mpi": true, "transit": true, "sched": true, "dparallel": true,
+	"supervise": true,
 }
 
 var lockMethods = map[string]bool{"Lock": true, "RLock": true}

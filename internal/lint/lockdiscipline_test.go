@@ -9,5 +9,5 @@ import (
 
 func TestLockDiscipline(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.LockDiscipline,
-		"lockdiscipline_flagged", "lockdiscipline_clean", "lockdiscipline_otherpkg", "lockdiscipline_allow")
+		"lockdiscipline_flagged", "lockdiscipline_clean", "lockdiscipline_otherpkg", "lockdiscipline_allow", "lockdiscipline_supervise")
 }

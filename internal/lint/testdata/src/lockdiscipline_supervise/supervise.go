@@ -1,0 +1,47 @@
+// Fixture for rule 3 in package supervise: a supervisor or breaker that
+// performs channel ops while holding its lock can deadlock the watchdog
+// against the very consumers it is probing. Flagged cases carry want
+// comments; the rest must stay clean.
+package supervise
+
+import "sync"
+
+type Breaker struct {
+	mu     sync.Mutex
+	probes chan string
+	opens  int
+}
+
+func (b *Breaker) ProbeUnderLock(target string) {
+	b.mu.Lock()
+	b.probes <- target // want `channel send while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *Breaker) AwaitUnderLock() string {
+	b.mu.Lock()
+	v := <-b.probes // want `channel receive while holding b.mu`
+	b.mu.Unlock()
+	return v
+}
+
+func (b *Breaker) LeakOnTrip() int {
+	b.mu.Lock()    // want `b.mu.Lock\(\) without a matching Unlock before the function ends`
+	return b.opens // want `return while b.mu is locked`
+}
+
+// ProbeOutsideLock snapshots state under the lock and touches the channel
+// only after releasing it — the clean shape.
+func (b *Breaker) ProbeOutsideLock(target string) {
+	b.mu.Lock()
+	b.opens++
+	b.mu.Unlock()
+	b.probes <- target
+}
+
+// DeferredUnlock is clean: defer releases on every path.
+func (b *Breaker) DeferredUnlock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

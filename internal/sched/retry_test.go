@@ -12,7 +12,7 @@ import (
 // alwaysFail returns an injector that kills every job attempt at half its
 // duration.
 func alwaysFail() *fault.Injector {
-	return fault.New(fault.Profile{Seed: 1, JobFailureProb: 1, JobFailureFracMin: 0.5, JobFailureFracMax: 0.5})
+	return fault.MustNew(fault.Profile{Seed: 1, JobFailureProb: 1, JobFailureFracMin: 0.5, JobFailureFracMax: 0.5})
 }
 
 func TestJobFailsAndIsResubmitted(t *testing.T) {
@@ -61,7 +61,7 @@ func TestJobRecoversOnRetry(t *testing.T) {
 	// eventually, and completed jobs carry clean per-run state.
 	var sim des.Sim
 	c, _ := NewCluster(&sim, smallMachine())
-	c.Faults = fault.New(fault.Profile{Seed: 3, JobFailureProb: 0.5})
+	c.Faults = fault.MustNew(fault.Profile{Seed: 3, JobFailureProb: 0.5})
 	c.Retry = RetryPolicy{MaxAttempts: 10, Backoff: 5}
 	var jobs []*Job
 	for i := 0; i < 20; i++ {
@@ -153,7 +153,7 @@ func TestListenerOutageDropsPolls(t *testing.T) {
 	l := &Listener{
 		Sim: &sim, FS: storage, Cluster: c, Prefix: "out/",
 		PollInterval: 10,
-		Faults:       fault.New(fault.Profile{ListenerOutages: []fault.Window{{Start: 15, End: 45}}}),
+		Faults:       fault.MustNew(fault.Profile{ListenerOutages: []fault.Window{{Start: 15, End: 45}}}),
 		MakeJob: func(path string, f *fs.File) *Job {
 			return &Job{Name: path, Nodes: 1, Duration: 1}
 		},
@@ -214,7 +214,7 @@ func TestRetryBackoffJitterIsDeterministic(t *testing.T) {
 	run := func() []Attempt {
 		var sim des.Sim
 		c, _ := NewCluster(&sim, smallMachine())
-		c.Faults = fault.New(fault.Profile{Seed: 9, JobFailureProb: 1, JobFailureFracMin: 0.5, JobFailureFracMax: 0.5})
+		c.Faults = fault.MustNew(fault.Profile{Seed: 9, JobFailureProb: 1, JobFailureFracMin: 0.5, JobFailureFracMax: 0.5})
 		c.Retry = RetryPolicy{MaxAttempts: 4, Backoff: 10, BackoffFactor: 2, JitterFrac: 0.5}
 		j := &Job{Name: "jittery", Nodes: 1, Duration: 100}
 		if err := c.Submit(j); err != nil {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/platform"
+	"repro/internal/supervise"
 )
 
 // Attempt records one execution attempt of a job that was started and
@@ -56,6 +57,19 @@ type Job struct {
 	Attempt int
 	History []Attempt
 	Failed  bool
+
+	// EffDuration is the attempt's actual run time after gray-failure
+	// slowdown factors (equal to Duration in a healthy run).
+	EffDuration float64
+
+	// Hedging state (see gray.go): hedge is the live backup attempt racing
+	// this job; hedgeOf points a backup at its primary; hedges counts the
+	// backups launched for this job; cancelled invalidates an attempt whose
+	// race was lost (its queued events are inert).
+	hedge     *Job
+	hedgeOf   *Job
+	hedges    int
+	cancelled bool
 }
 
 // QueueWait returns how long the job waited beyond its submission
@@ -74,7 +88,15 @@ type RetryPolicy struct {
 	// JitterFrac adds up to this fraction of the backoff, drawn from the
 	// fault injector's seeded RNG so runs stay reproducible.
 	JitterFrac float64
+	// MaxDelay caps the exponential backoff in seconds; 0 means the
+	// DefaultMaxDelay cap. Without a cap, attempt counts past ~40 overflow
+	// the doubling into absurd (eventually +Inf) delays.
+	MaxDelay float64
 }
+
+// DefaultMaxDelay is the backoff cap applied when RetryPolicy.MaxDelay is
+// unset: one simulated hour.
+const DefaultMaxDelay = 3600
 
 // DefaultRetry is the policy used by the workflow engine when faults are
 // enabled: up to 4 attempts, 30 s initial backoff doubling per retry, 25%
@@ -91,8 +113,17 @@ func (p RetryPolicy) delay(inj *fault.Injector, name string, attempt int) float6
 	if factor <= 0 {
 		factor = 2
 	}
-	for i := 1; i < attempt; i++ {
+	max := p.MaxDelay
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	// Stop multiplying once past the cap: 2^1000 overflows float64 long
+	// before the cap clamps it.
+	for i := 1; i < attempt && d < max; i++ {
 		d *= factor
+	}
+	if d > max {
+		d = max
 	}
 	if p.JitterFrac > 0 {
 		d += d * p.JitterFrac * inj.RetryJitter(name, attempt)
@@ -114,6 +145,10 @@ type Cluster struct {
 	// failure-free model. Retry governs resubmission of failed jobs.
 	Faults *fault.Injector
 	Retry  RetryPolicy
+	// Supervise attaches gray-failure supervision (heartbeats, deadlines,
+	// stragglers, hedged re-execution — see gray.go); nil disables it and
+	// reproduces the unsupervised event sequence exactly.
+	Supervise *supervise.Supervisor
 
 	freeNodes    int
 	pending      []*Job
@@ -131,6 +166,12 @@ type Cluster struct {
 	LostJobs        int     // jobs whose retries were exhausted
 	TimeLost        float64 // execution seconds discarded by failed attempts
 	LostNodeSeconds float64 // node-seconds held by failed attempts (for charging)
+
+	// Gray-failure counters (all zero without gray faults/supervision).
+	StalledAttempts      int     // attempts that hung mid-run holding their nodes
+	HedgesLaunched       int     // backup attempts launched for suspect jobs
+	HedgeWins            int     // races the backup finished first
+	StragglerNodeSeconds float64 // node-seconds reclaimed by cancelling race losers
 }
 
 // NewCluster creates a cluster with all nodes free.
@@ -182,8 +223,10 @@ func (c *Cluster) Submit(j *Job) error {
 	if j.Duration < 0 {
 		return fmt.Errorf("sched: job %q has negative duration", j.Name)
 	}
-	// Clear any stale state from a previous attempt.
-	j.Started, j.Completed = false, false
+	// Clear any stale state from a previous attempt. A cancelled race
+	// loser stays inert: its queued events were orphaned by the attempt
+	// bump in cancelJob, so clearing the flag here is safe.
+	j.Started, j.Completed, j.cancelled = false, false, false
 	j.StartTime, j.EndTime = 0, 0
 	j.SubmitTime = c.Sim.Now()
 	wait := 0.0
@@ -232,19 +275,57 @@ func (c *Cluster) start(j *Job) {
 	if j.OnStart != nil {
 		j.OnStart(j)
 	}
-	if frac, fails := c.Faults.JobAttempt(j.Name, j.Attempt); fails {
-		c.Sim.After(j.Duration*frac, func() { c.fail(j) })
+	// Gray failures stretch the attempt: a per-attempt slowdown draw
+	// compounds with the machine's degraded-window factor at start time.
+	eff := j.Duration * c.Faults.JobSlowdown(j.Name, j.Attempt) * c.Faults.DegradeFactorAt(j.StartTime)
+	j.EffDuration = eff
+	attempt := j.Attempt // queued events die if the attempt is superseded
+	stallFrac, stalled := c.Faults.JobStall(j.Name, j.Attempt)
+	if frac, fails := c.Faults.JobAttempt(j.Name, j.Attempt); fails && (!stalled || frac < stallFrac) {
+		c.superviseStart(j, eff*frac)
+		c.Sim.After(eff*frac, func() {
+			if !j.cancelled && j.Attempt == attempt {
+				c.fail(j)
+			}
+		})
 		return
 	}
-	c.Sim.After(j.Duration, func() { c.complete(j) })
+	if stalled {
+		// The attempt hangs: it holds its nodes, stops beating its heart at
+		// the stall point, and never completes. Only supervision (heartbeat
+		// watchdog → hedge or declare lost) can recover it.
+		c.StalledAttempts++
+		c.superviseStart(j, eff*stallFrac)
+		return
+	}
+	c.superviseStart(j, eff)
+	c.Sim.After(eff, func() {
+		if !j.cancelled && j.Attempt == attempt {
+			c.complete(j)
+		}
+	})
 }
 
 func (c *Cluster) complete(j *Job) {
+	c.superviseDone(j)
 	j.Completed = true
 	j.EndTime = c.Sim.Now()
 	c.freeNodes += j.Nodes
 	if c.isSmall(j) {
 		c.runningSmall--
+	}
+	if p := j.hedgeOf; p != nil {
+		// A backup finished first: cancel the losing primary and project
+		// the completion onto it, so downstream code sees exactly one
+		// completion of the original job (hedged duplicates never
+		// double-count).
+		c.hedgeWin(j, p)
+		return
+	}
+	if j.hedge != nil {
+		// The primary beat its backup: cancel the loser.
+		c.cancelJob(j.hedge, "primary finished first")
+		j.hedge = nil
 	}
 	c.finished = append(c.finished, j)
 	if j.OnComplete != nil {
@@ -258,6 +339,7 @@ func (c *Cluster) complete(j *Job) {
 // failed.
 func (c *Cluster) fail(j *Job) {
 	now := c.Sim.Now()
+	c.superviseForget(j)
 	c.freeNodes += j.Nodes
 	if c.isSmall(j) {
 		c.runningSmall--
@@ -267,6 +349,13 @@ func (c *Cluster) fail(j *Job) {
 	c.TimeLost += now - j.StartTime
 	c.LostNodeSeconds += float64(j.Nodes) * (now - j.StartTime)
 	j.Attempt++
+	if j.hedge != nil {
+		// The primary died while a live backup races on: the backup is the
+		// resubmission — don't queue another copy of the work.
+		c.Supervise.Note(jobKey(j), "primary-died", "live backup continues")
+		c.trySchedule()
+		return
+	}
 	if j.Attempt < c.Retry.MaxAttempts {
 		c.Resubmits++
 		delay := c.Retry.delay(c.Faults, j.Name, j.Attempt)
@@ -274,7 +363,13 @@ func (c *Cluster) fail(j *Job) {
 	} else {
 		j.Failed = true
 		c.LostJobs++
-		if j.OnGiveUp != nil {
+		if p := j.hedgeOf; p != nil {
+			// A backup died with its retries exhausted: escalate back to
+			// the (still-suspect) primary so a stalled primary doesn't
+			// deadlock the race.
+			p.hedge = nil
+			c.escalate(p, supervise.ReasonBackupFailed)
+		} else if j.OnGiveUp != nil {
 			j.OnGiveUp(j)
 		}
 	}
@@ -303,14 +398,25 @@ type Listener struct {
 	// the file.
 	MakeJob func(path string, f *fs.File) *Job
 	// Faults optionally injects listener outage windows; polls inside a
-	// window are lost (counted in MissedPolls).
+	// window are lost (counted in MissedPolls). With SubmitFailProb set it
+	// also injects transient submission refusals (an overloaded batch
+	// front-end), which the Breaker turns into backoff.
 	Faults *fault.Injector
+	// Breaker optionally circuit-breaks the submit path: repeated refusals
+	// open it (submissions skipped until the cooldown), a half-open probe
+	// rediscovers a recovered front-end. nil means no breaking.
+	Breaker *supervise.Breaker
 
 	seen        map[string]bool
+	submitTries map[string]int
 	stopped     bool
 	Submitted   int
 	Polls       int
 	MissedPolls int
+	// SubmitFaults counts injected transient submit refusals; BreakerSkips
+	// counts submissions not attempted because the breaker was open.
+	SubmitFaults int
+	BreakerSkips int
 }
 
 // Start begins polling. The listener runs until Stop (the backgrounded
@@ -351,6 +457,31 @@ func (l *Listener) MarkSeen(path string) {
 // inside an outage window (the facility restarts it for the final pass).
 func (l *Listener) FinalSweep() { l.sweep() }
 
+// Unseen counts watched files not yet submitted for analysis.
+func (l *Listener) Unseen() int {
+	n := 0
+	for _, path := range l.FS.List(l.Prefix) {
+		if !l.seen[path] {
+			n++
+		}
+	}
+	return n
+}
+
+// Drain is the supervised final sweep: it re-sweeps every delay virtual
+// seconds until all visible files have been submitted or maxSweeps is
+// exhausted, so a transient submit refusal — or a breaker cooling down —
+// at the end of the run delays the last analyses instead of losing them.
+// When the first sweep submits everything (the failure-free case) no
+// further event is scheduled, leaving the fault-free clock untouched.
+func (l *Listener) Drain(delay float64, maxSweeps int) {
+	l.sweep()
+	if maxSweeps <= 1 || l.Unseen() == 0 {
+		return
+	}
+	l.Sim.After(delay, func() { l.Drain(delay, maxSweeps-1) })
+}
+
 func (l *Listener) poll() {
 	if l.stopped {
 		return
@@ -377,9 +508,23 @@ func (l *Listener) sweep() {
 		if l.seen[path] {
 			continue
 		}
+		if !l.Breaker.Allow() {
+			l.BreakerSkips++
+			continue // the front-end is sick; back off instead of hot-looping
+		}
 		f, err := l.FS.Stat(path)
 		if err != nil {
 			continue // retried next poll
+		}
+		if l.submitTries == nil {
+			l.submitTries = map[string]int{}
+		}
+		try := l.submitTries[path]
+		l.submitTries[path] = try + 1
+		if l.Faults.SubmitFail(path, try) {
+			l.SubmitFaults++
+			l.Breaker.Failure()
+			continue // transient refusal; retried next poll
 		}
 		job := l.MakeJob(path, f)
 		if job == nil {
@@ -387,8 +532,10 @@ func (l *Listener) sweep() {
 			continue
 		}
 		if err := l.Cluster.Submit(job); err != nil {
+			l.Breaker.Failure()
 			continue // retried next poll
 		}
+		l.Breaker.Success()
 		l.seen[path] = true
 		l.Submitted++
 	}

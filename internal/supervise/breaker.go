@@ -1,0 +1,152 @@
+package supervise
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every request (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen passes exactly one probe; its outcome closes or
+	// reopens the breaker.
+	BreakerHalfOpen
+)
+
+// String names the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a circuit breaker for the co-scheduling listener's submit
+// path: repeated transient submit refusals (an overloaded batch front-end)
+// open the breaker so the listener backs off instead of hot-looping, and a
+// half-open probe rediscovers the front-end when it recovers. Cooldowns
+// double on consecutive reopenings up to MaxCooldown.
+//
+// The breaker runs on virtual time through the Now func and is used only
+// from single-threaded DES event callbacks; it needs no locking. A nil
+// *Breaker allows everything.
+type Breaker struct {
+	// FailureThreshold consecutive failures open a closed breaker.
+	FailureThreshold int
+	// Cooldown is the initial open duration; it doubles per reopen up to
+	// MaxCooldown.
+	Cooldown    float64
+	MaxCooldown float64
+	// Now returns the current virtual time.
+	Now func() float64
+
+	state       BreakerState
+	consecutive int
+	openedAt    float64
+	curCooldown float64
+	probing     bool
+
+	// Opens counts transitions to the open state; Skips counts requests
+	// refused while open.
+	Opens, Skips int
+}
+
+// NewBreaker builds a breaker on the given clock with the listener
+// defaults: 3 consecutive failures to open, 60 s initial cooldown, 8x cap.
+func NewBreaker(now func() float64) *Breaker {
+	return &Breaker{
+		FailureThreshold: 3,
+		Cooldown:         60,
+		MaxCooldown:      480,
+		Now:              now,
+	}
+}
+
+// State returns the breaker's current position, advancing open → half-open
+// when the cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	if b.state == BreakerOpen && b.Now != nil && b.Now()-b.openedAt >= b.curCooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+	return b.state
+}
+
+// Allow reports whether a request may proceed. While open it refuses
+// (counting a skip); half-open it passes exactly one probe.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	switch b.State() {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			b.Skips++
+			return false
+		}
+		b.probing = true
+		return true
+	default: // open
+		b.Skips++
+		return false
+	}
+}
+
+// Success records a successful request: a half-open probe closes the
+// breaker and resets the cooldown ladder.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	if b.State() == BreakerHalfOpen {
+		b.curCooldown = 0
+	}
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// Failure records a failed request: a half-open probe reopens with a
+// doubled cooldown; FailureThreshold consecutive failures open a closed
+// breaker.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.consecutive++
+	switch b.State() {
+	case BreakerHalfOpen:
+		b.open(2 * b.curCooldown)
+	case BreakerClosed:
+		if b.consecutive >= b.FailureThreshold {
+			b.open(b.Cooldown)
+		}
+	}
+}
+
+// open transitions to the open state with the given cooldown, clamped to
+// [Cooldown, MaxCooldown].
+func (b *Breaker) open(cooldown float64) {
+	if cooldown < b.Cooldown {
+		cooldown = b.Cooldown
+	}
+	if b.MaxCooldown > 0 && cooldown > b.MaxCooldown {
+		cooldown = b.MaxCooldown
+	}
+	b.state = BreakerOpen
+	b.curCooldown = cooldown
+	if b.Now != nil {
+		b.openedAt = b.Now()
+	}
+	b.probing = false
+	b.Opens++
+}

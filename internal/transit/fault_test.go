@@ -141,7 +141,7 @@ func TestConsumeWithInjectedAbortsUnderLoad(t *testing.T) {
 	// iff the (key, d) draw aborts, independent of scheduling. This seed
 	// and rate yield exactly 4 deaths over the 200 keys, so 4 of the 8
 	// workers survive to finish the drain.
-	inj := fault.New(fault.Profile{Seed: 11, ConsumerAbortProb: 0.02})
+	inj := fault.MustNew(fault.Profile{Seed: 11, ConsumerAbortProb: 0.02})
 	s, _ := NewStage(64)
 	const producers, itemsEach, workers = 4, 50, 8
 	var processed sync.Map

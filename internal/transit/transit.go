@@ -26,6 +26,7 @@ package transit
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -51,6 +52,13 @@ var ErrClosed = errors.New("transit: stage closed")
 // redelivered to another worker and the dying worker retires.
 var ErrConsumerDied = errors.New("transit: consumer died")
 
+// inflightEntry tracks one handed-out item and when it left the queue
+// (for ack-deadline reaping).
+type inflightEntry struct {
+	item    Item
+	takenAt float64
+}
+
 // Stage is a bounded in-memory staging device.
 type Stage struct {
 	mu       sync.Mutex
@@ -59,9 +67,13 @@ type Stage struct {
 	capacity int64
 	used     int64
 	queue    []Item
-	inflight map[string]Item
+	inflight map[string]inflightEntry
 	closed   bool
 	abortErr error
+
+	// Ack-deadline reaping (see SetAckDeadline/Reap).
+	clock       func() float64
+	ackDeadline float64
 
 	// Stats.
 	totalItems  int64
@@ -69,6 +81,7 @@ type Stage struct {
 	peakUsed    int64
 	stallCount  int64
 	redelivered int64
+	reaped      int64
 }
 
 // NewStage creates a staging area holding at most capacity bytes.
@@ -76,7 +89,7 @@ func NewStage(capacity int64) (*Stage, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("transit: capacity %d must be positive", capacity)
 	}
-	s := &Stage{capacity: capacity, inflight: map[string]Item{}}
+	s := &Stage{capacity: capacity, inflight: map[string]inflightEntry{}}
 	s.notFull = sync.NewCond(&s.mu)
 	s.notEmpty = sync.NewCond(&s.mu)
 	return s, nil
@@ -145,12 +158,63 @@ func (s *Stage) Take() (Item, error) {
 	item := s.queue[0]
 	s.queue = s.queue[1:]
 	s.used -= item.Bytes
-	s.inflight[item.Key] = item
+	e := inflightEntry{item: item}
+	if s.clock != nil {
+		e.takenAt = s.clock()
+	}
+	s.inflight[item.Key] = e
 	s.notFull.Broadcast()
 	return item, nil
 }
 
-// Ack marks an in-flight item fully processed. Unknown keys are ignored.
+// SetClock attaches a time source (virtual or wall) for ack-deadline
+// reaping. The function is called with the stage lock held and must not
+// call back into the stage. Set it before any Take.
+func (s *Stage) SetClock(now func() float64) {
+	s.mu.Lock()
+	s.clock = now
+	s.mu.Unlock()
+}
+
+// SetAckDeadline arms the reaper: an in-flight item older than d seconds
+// (by the SetClock time source) is redelivered by the next Reap call. 0
+// disables reaping.
+func (s *Stage) SetAckDeadline(d float64) {
+	s.mu.Lock()
+	s.ackDeadline = d
+	s.mu.Unlock()
+}
+
+// Reap redelivers every in-flight item whose ack deadline has expired —
+// the consumer holding it is presumed hung (a gray failure: it may yet
+// finish, which is why acks carry delivery tokens). Keys are reaped in
+// sorted order so redelivery order is deterministic. Returns the number
+// reaped. A no-op without a clock and deadline.
+func (s *Stage) Reap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ackDeadline <= 0 || s.clock == nil {
+		return 0
+	}
+	now := s.clock()
+	var stale []string
+	for k, e := range s.inflight {
+		if now-e.takenAt >= s.ackDeadline {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	for _, k := range stale {
+		s.redeliverLocked(k)
+		s.reaped++
+	}
+	return len(stale)
+}
+
+// Ack marks an in-flight item fully processed regardless of delivery.
+// Unknown keys are ignored. With ack-deadline reaping active, use
+// AckDelivery so a reaped consumer cannot resolve its successor's
+// delivery.
 func (s *Stage) Ack(key string) {
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -162,6 +226,25 @@ func (s *Stage) Ack(key string) {
 	s.mu.Unlock()
 }
 
+// AckDelivery acks the in-flight item only if the given delivery is the
+// one currently in flight, reporting whether it resolved the item. A
+// consumer whose delivery was reaped and redelivered holds a stale token:
+// its late ack returns false and leaves the live delivery untouched, so an
+// item is finally acked exactly once.
+func (s *Stage) AckDelivery(key string, delivery int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.inflight[key]
+	if !ok || e.item.Delivery != delivery {
+		return false
+	}
+	delete(s.inflight, key)
+	if s.drained() {
+		s.notEmpty.Broadcast()
+	}
+	return true
+}
+
 // Redeliver returns an in-flight item to the head of the queue — the
 // consumer processing it died mid-item, and another worker must pick it
 // up. The item's Delivery count is incremented. Unknown keys are ignored.
@@ -170,11 +253,31 @@ func (s *Stage) Ack(key string) {
 func (s *Stage) Redeliver(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	item, ok := s.inflight[key]
+	s.redeliverLocked(key)
+}
+
+// RedeliverDelivery redelivers only if the given delivery is the one in
+// flight (the dying consumer's token is still live), reporting whether it
+// did. A stale token is a no-op: the reaper already redelivered the item.
+func (s *Stage) RedeliverDelivery(key string, delivery int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.inflight[key]
+	if !ok || e.item.Delivery != delivery {
+		return false
+	}
+	s.redeliverLocked(key)
+	return true
+}
+
+// redeliverLocked is Redeliver holding mu.
+func (s *Stage) redeliverLocked(key string) {
+	e, ok := s.inflight[key]
 	if !ok {
 		return
 	}
 	delete(s.inflight, key)
+	item := e.item
 	item.Delivery++
 	s.queue = append([]Item{item}, s.queue...)
 	s.used += item.Bytes
@@ -243,8 +346,10 @@ type Stats struct {
 	// means the producer (the simulation) was throttled by analysis.
 	StallCount int64
 	// Redelivered counts items returned to the queue after a consumer
-	// died mid-item.
+	// died mid-item or blew its ack deadline; Reaped counts the subset
+	// redelivered by the ack-deadline reaper.
 	Redelivered int64
+	Reaped      int64
 	// Queued, InFlight and Used describe the current state.
 	Queued   int
 	InFlight int
@@ -261,6 +366,7 @@ func (s *Stage) Stats() Stats {
 		PeakUsed:    s.peakUsed,
 		StallCount:  s.stallCount,
 		Redelivered: s.redelivered,
+		Reaped:      s.reaped,
 		Queued:      len(s.queue),
 		InFlight:    len(s.inflight),
 		Used:        s.used,
@@ -301,7 +407,10 @@ func Consume(s *Stage, workers int, fn func(Item) error) error {
 				}
 				if err := fn(item); err != nil {
 					if errors.Is(err, ErrConsumerDied) {
-						s.Redeliver(item.Key)
+						// Delivery-checked: if the reaper already
+						// redelivered this item, the dying worker's stale
+						// token must not bounce the live delivery.
+						s.RedeliverDelivery(item.Key, item.Delivery)
 						mu.Lock()
 						live--
 						last := live == 0
@@ -317,7 +426,7 @@ func Consume(s *Stage, workers int, fn func(Item) error) error {
 					s.Abort(err)
 					return
 				}
-				s.Ack(item.Key)
+				s.AckDelivery(item.Key, item.Delivery)
 			}
 		}(w)
 	}
