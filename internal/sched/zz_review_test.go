@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/platform"
+	"repro/internal/supervise"
+)
+
+// Review repro: backup fails mid-run and sits in retry backoff; primary
+// completes before the backoff expires. cancelJob sees the backup's stale
+// Started flag and double-frees its nodes; the unguarded resubmit then
+// resurrects the cancelled backup and projects a second completion onto
+// the already-completed primary.
+func TestReviewHedgeBackoffCancel(t *testing.T) {
+	var sim des.Sim
+	m := platform.Machine{Name: "m", Nodes: 10, PeakPFs: 1, MemPB: 1, StorePB: 1, IOTBs: 1}
+	c, err := NewCluster(&sim, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Retry = RetryPolicy{MaxAttempts: 4, Backoff: 30}
+	c.Supervise = supervise.New(&sim, supervise.DefaultPolicy())
+
+	completions := 0
+	p := &Job{Name: "p", Nodes: 4, Duration: 30,
+		OnComplete: func(*Job) { completions++ }}
+	if err := c.Submit(p); err != nil {
+		t.Fatal(err)
+	}
+	sim.At(10, func() { c.suspect(p, supervise.ReasonStraggler) }) // launch hedge b
+	sim.At(20, func() {                                            // backup dies mid-run -> backoff resubmit queued
+		if p.hedge == nil || !p.hedge.Started {
+			t.Fatalf("backup not racing at t=20: %+v", p.hedge)
+		}
+		c.fail(p.hedge)
+	})
+	sim.Run()
+
+	t.Logf("freeNodes=%d (machine has %d)", c.FreeNodes(), m.Nodes)
+	t.Logf("completions of p: %d, finished list: %d", completions, len(c.Finished()))
+	if c.FreeNodes() > m.Nodes {
+		t.Errorf("freeNodes %d exceeds machine nodes %d (double-free)", c.FreeNodes(), m.Nodes)
+	}
+	if completions > 1 {
+		t.Errorf("primary OnComplete fired %d times", completions)
+	}
+	if len(c.Finished()) > 1 {
+		t.Errorf("finished list has %d entries for one job", len(c.Finished()))
+	}
+}
