@@ -12,6 +12,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 
@@ -743,6 +744,54 @@ func BenchmarkSupervisedCampaign(b *testing.B) {
 		// Fault-free: supervision must watch every job and recover nothing.
 		if rep.Resilience.HedgesLaunched != 0 || rep.AnalysisJobs != steps {
 			b.Fatalf("fault-free supervised campaign misbehaved: %+v", rep.Resilience)
+		}
+	})
+}
+
+// BenchmarkScrubbedCampaign measures the fault-free overhead of the data
+// integrity layer on a persisted campaign: lineage ledger commits plus
+// co-scheduled background scrub jobs re-verifying every product. The
+// scrubbed run should stay within a few percent of the bare persisted
+// baseline (EXPERIMENTS.md tracks the measured ratio, target < 5%).
+func BenchmarkScrubbedCampaign(b *testing.B) {
+	const steps = 20
+	scenario := func(b *testing.B) *core.Scenario {
+		s, err := core.DownscaledScenario(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.PostQueueWait = 0
+		return s
+	}
+	run := func(b *testing.B, s *core.Scenario) *core.CampaignReport {
+		b.Helper()
+		dir, err := os.MkdirTemp("", "scrubbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		rep, err := core.ResumableCampaign(s, steps, dir, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	b.Run("baseline", func(b *testing.B) {
+		s := scenario(b)
+		for i := 0; i < b.N; i++ {
+			run(b, s)
+		}
+	})
+	b.Run("scrubbed", func(b *testing.B) {
+		s := scenario(b)
+		s.Scrub = &core.ScrubPolicy{}
+		var rep *core.CampaignReport
+		for i := 0; i < b.N; i++ {
+			rep = run(b, s)
+		}
+		// Fault-free: every scrub verification must pass and repair nothing.
+		if rep.Integrity.Corruptions != 0 || rep.Integrity.Verified == 0 {
+			b.Fatalf("fault-free scrubbed campaign misbehaved: %+v", rep.Integrity)
 		}
 	})
 }

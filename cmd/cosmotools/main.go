@@ -81,6 +81,7 @@ func run(inPath, outPath string, box float64, np int, cfgPath, mode string) erro
 	case "full":
 		ctx := cosmotools.NewContext(1, 1, box, mass, merged)
 		var manager cosmotools.Manager
+		manager.Clock = time.Now // off-line driver: wall-clock timings are wanted here
 		hf := cosmotools.NewHaloFinder()
 		link := 0.2 * box / float64(np)
 		if err := hf.SetParameters(map[string]string{

@@ -213,6 +213,7 @@ func run(cfg runConfig) error {
 	// config file, or fall back to defaults scaled to the box (linking
 	// length 0.2x the mean inter-particle spacing).
 	var manager cosmotools.Manager
+	manager.Clock = time.Now // driver process: wall-clock timings are wanted here
 	disabled := cfg.CTConfig == "-"
 	if !disabled {
 		ps := cosmotools.NewPowerSpectrum()

@@ -34,6 +34,15 @@
 //
 //	workflow-sim -resilience -gray
 //	workflow-sim -campaign 20 -gray -step-budget 900 -decisions
+//
+// With -bitrot P, a persisted campaign's committed products silently rot
+// at rest (seeded, length-preserving bit flips); -scrub SEC co-schedules
+// background scrub jobs every SEC virtual seconds that re-verify products
+// against the content-addressed lineage ledger, quarantine mismatches,
+// and repair them by re-deriving only the producing step. The integrity
+// report and (with -decisions) the scrub decision log are printed:
+//
+//	workflow-sim -campaign 20 -out run/ -bitrot 0.5 -scrub 300 -decisions
 package main
 
 import (
@@ -78,6 +87,8 @@ func main() {
 		resumeDir  = flag.String("resume", "", "resume a persisted campaign from its directory (parameters are read from the journal)")
 		crashTime  = flag.Float64("crash-time", 0, "with -out/-resume: kill the engine at this virtual time (exercise crash recovery)")
 		crashStep  = flag.Int("crash-step", 0, "with -out/-resume: kill the engine mid-write of this step's Level 2 file, leaving a torn file")
+		bitrot     = flag.Float64("bitrot", 0, "with -out/-resume: per-product at-rest bit-rot probability (seeded, length-preserving flips; detected and repaired via the lineage ledger)")
+		scrub      = flag.Float64("scrub", 0, "with -out/-resume: co-schedule background scrub jobs every SEC virtual seconds re-verifying committed products")
 	)
 	flag.Parse()
 	// The gray profile is validated at the flag boundary: a malformed
@@ -125,7 +136,7 @@ func main() {
 	}
 	if *resumeDir != "" {
 		ran = true
-		if err := persistedCampaign(*seed, 0, *resumeDir, *crashTime, *crashStep); err != nil {
+		if err := persistedCampaign(*seed, 0, *resumeDir, *crashTime, *crashStep, *faultSeed, *bitrot, *scrub, *decisions); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
@@ -138,7 +149,7 @@ func main() {
 		}
 		var err error
 		if *outDir != "" {
-			err = persistedCampaign(*seed, n, *outDir, *crashTime, *crashStep)
+			err = persistedCampaign(*seed, n, *outDir, *crashTime, *crashStep, *faultSeed, *bitrot, *scrub, *decisions)
 		} else {
 			err = campaignStudy(*seed, n, grayP, *stepBudget, *decisions)
 		}
@@ -251,8 +262,10 @@ func resilienceStudy(seed, faultSeed int64, grayP *fault.Profile) error {
 // at dir. steps == 0 means resume: the horizon and seeds are read back
 // from the journal's meta record. A crash-time/crash-step kill is armed
 // for the *current* generation, so repeated invocations with the same flag
-// crash once and then complete.
-func persistedCampaign(seed int64, steps int, dir string, crashTime float64, crashStep int) error {
+// crash once and then complete. bitrot > 0 injects seeded at-rest
+// corruption into committed products; scrub > 0 co-schedules background
+// scrub jobs at that interval.
+func persistedCampaign(seed int64, steps int, dir string, crashTime float64, crashStep int, faultSeed int64, bitrot, scrub float64, decisions bool) error {
 	// Peek at the journal for the generation count and, on resume, the
 	// pinned campaign parameters.
 	gen := 0
@@ -276,10 +289,19 @@ func persistedCampaign(seed int64, steps int, dir string, crashTime float64, cra
 		return err
 	}
 	s.PostQueueWait = 0
-	if crashTime > 0 || crashStep > 0 {
-		crashes := make([]fault.Crash, gen+1)
-		crashes[gen] = fault.Crash{AtTime: crashTime, AtStep: crashStep}
-		s.Faults = &fault.Profile{Crashes: crashes}
+	if crashTime > 0 || crashStep > 0 || bitrot > 0 {
+		p := &fault.Profile{Seed: faultSeed, BitRotProb: bitrot}
+		if crashTime > 0 || crashStep > 0 {
+			p.Crashes = make([]fault.Crash, gen+1)
+			p.Crashes[gen] = fault.Crash{AtTime: crashTime, AtStep: crashStep}
+		}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		s.Faults = p
+	}
+	if scrub > 0 {
+		s.Scrub = &core.ScrubPolicy{Interval: scrub}
 	}
 	rep, err := core.ResumableCampaign(s, steps, dir, seed)
 	if errors.Is(err, core.ErrCampaignCrashed) {
@@ -298,6 +320,17 @@ func persistedCampaign(seed int64, steps int, dir string, crashTime float64, cra
 	fmt.Printf("  all analysis done:     %.0f s\n", rep.TotalWallClock)
 	fmt.Printf("  products: %d Level 2 files, %d center catalogs, merged catalog.txt\n",
 		rep.Timesteps, rep.Timesteps)
+	if bitrot > 0 || scrub > 0 {
+		in := rep.Integrity
+		fmt.Printf("  integrity: %d verified, %d corrupt, %d quarantined, %d repaired, %d escalated (%d scrub jobs)\n",
+			in.Verified, in.Corruptions, in.Quarantined, in.Repaired, in.Escalated, in.ScrubJobs)
+		if decisions {
+			fmt.Println("  scrub decision log:")
+			for _, d := range rep.ScrubDecisions {
+				fmt.Printf("    %s\n", d.String())
+			}
+		}
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -167,5 +168,50 @@ func TestMergeFilesIdempotent(t *testing.T) {
 				t.Errorf("case %d: record %d = %+v, want %+v", i, k, again[k], once[k])
 			}
 		}
+	}
+}
+
+// A corrupt input poisons a strict merge wholesale — MergeFiles must never
+// silently fold garbage into a science catalog.
+func TestMergeFilesRejectsCorruptInput(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.centers")
+	if err := WriteFile(good, sample()); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.centers")
+	if err := os.WriteFile(bad, []byte("7 8 1.0 NaN 1.0 -2 9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeFiles([]string{good, bad}); err == nil {
+		t.Fatal("MergeFiles merged a corrupt input without error")
+	}
+}
+
+func TestMergeFilesCheckedSkipsAndReports(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.centers")
+	if err := WriteFile(good, sample()); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.centers")
+	if err := os.WriteFile(bad, []byte("\x00\x01garbage bytes not a catalog\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, skipped, err := MergeFilesChecked([]string{bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(sample()) {
+		t.Errorf("merged %d records, want %d from the intact input", len(records), len(sample()))
+	}
+	if len(skipped) != 1 || skipped[0].Path != bad || skipped[0].Err == nil {
+		t.Errorf("skipped = %+v, want the corrupt input reported", skipped)
+	}
+
+	// When every input is corrupt there is nothing to merge: that is an
+	// error, not an empty catalog.
+	if _, skipped, err := MergeFilesChecked([]string{bad}); err == nil || len(skipped) != 1 {
+		t.Errorf("all-corrupt merge: err=%v skipped=%+v, want wholesale error", err, skipped)
 	}
 }

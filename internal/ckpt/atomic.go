@@ -1,11 +1,18 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 )
+
+// ErrManifestChecksum reports a journaled file whose on-disk bytes no
+// longer match the journal record (size or CRC32) — the signature of
+// silent corruption behind the journal's back. Matchable with errors.Is;
+// the integrity layer keys its quarantine-and-repair path off it.
+var ErrManifestChecksum = errors.New("ckpt: journaled file fails its manifest checksum")
 
 // WriteFileAtomic commits data to path with the temp-file-and-rename
 // protocol: the bytes are written to a temporary file in the same
@@ -76,31 +83,35 @@ func VerifyFile(dir string, r Record) error {
 		return fmt.Errorf("ckpt: journaled file missing: %w", err)
 	}
 	if int64(len(data)) != r.Bytes {
-		return fmt.Errorf("ckpt: %s is %d bytes, journal says %d", r.Path, len(data), r.Bytes)
+		return fmt.Errorf("%w: %s is %d bytes, journal says %d", ErrManifestChecksum, r.Path, len(data), r.Bytes)
 	}
 	if got := crc32.ChecksumIEEE(data); got != r.CRC {
-		return fmt.Errorf("ckpt: %s checksum %08x, journal says %08x", r.Path, got, r.CRC)
+		return fmt.Errorf("%w: %s checksum %08x, journal says %08x", ErrManifestChecksum, r.Path, got, r.CRC)
 	}
 	return nil
 }
 
 // RemoveStaleTemps deletes leftover *.tmp* files from commits interrupted
-// mid-write. Safe to call on every resume.
+// mid-write, and *.quarantine* files parked by an integrity scrub whose
+// repair never completed (the quarantined bytes are corrupt by
+// definition; the journal and lineage ledger hold everything needed to
+// re-derive the product). Safe to call on every resume.
 func RemoveStaleTemps(dir string) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) != "" && containsTmp(e.Name()) {
+		if !e.IsDir() && filepath.Ext(e.Name()) != "" &&
+			(containsMarker(e.Name(), ".tmp") || containsMarker(e.Name(), ".quarantine")) {
 			os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
 
-func containsTmp(name string) bool {
-	for i := 0; i+4 <= len(name); i++ {
-		if name[i:i+4] == ".tmp" {
+func containsMarker(name, marker string) bool {
+	for i := 0; i+len(marker) <= len(name); i++ {
+		if name[i:i+len(marker)] == marker {
 			return true
 		}
 	}

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -194,5 +195,84 @@ func TestRemoveStaleTemps(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 1 || entries[0].Name() != "keep.gio" {
 		t.Fatalf("after cleanup: %v", entries)
+	}
+}
+
+func TestVerifyFileTypedChecksumError(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(filepath.Join(dir, "j.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	rec, err := j.Commit(Record{Kind: KindStep, Step: 1, Path: "prod.dat"}, dir, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same length, different bytes: the CRC mismatch is ErrManifestChecksum.
+	if err := os.WriteFile(filepath.Join(dir, "prod.dat"), []byte("payl0ad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(dir, rec); !errors.Is(err, ErrManifestChecksum) {
+		t.Errorf("CRC mismatch error %v is not ErrManifestChecksum", err)
+	}
+	// Different length: also ErrManifestChecksum.
+	if err := os.WriteFile(filepath.Join(dir, "prod.dat"), []byte("pay"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(dir, rec); !errors.Is(err, ErrManifestChecksum) {
+		t.Errorf("size mismatch error %v is not ErrManifestChecksum", err)
+	}
+	// A missing file is a different failure (crash artifact, not rot).
+	if err := os.Remove(filepath.Join(dir, "prod.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(dir, rec); err == nil || errors.Is(err, ErrManifestChecksum) {
+		t.Errorf("missing-file error %v must not be ErrManifestChecksum", err)
+	}
+}
+
+func TestRemoveStaleTempsSweepsQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"keep.gio", "rotted.gio.quarantine", "old.centers.quarantine", "c.tmp1"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	RemoveStaleTemps(dir)
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "keep.gio" {
+		t.Fatalf("after cleanup: %v", entries)
+	}
+}
+
+func TestFrameParseFrameRoundTrip(t *testing.T) {
+	type payload struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	line, err := Frame(payload{Name: "x", N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line[len(line)-1] != '\n' {
+		t.Fatal("frame is not newline-terminated")
+	}
+	var got payload
+	if !ParseFrame(strings.TrimSuffix(string(line), "\n"), &got) {
+		t.Fatal("round trip failed")
+	}
+	if got.Name != "x" || got.N != 7 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// A flipped payload byte fails the CRC.
+	bad := []byte(strings.TrimSuffix(string(line), "\n"))
+	bad[2] ^= 0x01
+	if ParseFrame(string(bad), &got) {
+		t.Error("corrupt frame parsed")
+	}
+	// A torn line fails.
+	if ParseFrame(string(line[:len(line)/2]), &got) {
+		t.Error("torn frame parsed")
 	}
 }

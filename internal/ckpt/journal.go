@@ -83,11 +83,16 @@ type Journal struct {
 	path string
 }
 
-// frame serializes a record as one self-checking line:
+// Frame serializes any JSON-marshalable value as one self-checking
+// journal line:
 //
 //	<json payload> <crc32-of-payload-hex>\n
-func frame(r Record) ([]byte, error) {
-	payload, err := json.Marshal(r)
+//
+// It is exported so sibling journals (the integrity ledger's lineage
+// records) share the exact crash semantics of the main journal: a torn
+// append is detectable and truncatable, never silently half-parsed.
+func Frame(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: marshal record: %w", err)
 	}
@@ -95,23 +100,33 @@ func frame(r Record) ([]byte, error) {
 	return []byte(line), nil
 }
 
-// parseLine validates one framed line, returning ok=false for a torn or
-// corrupt frame.
-func parseLine(line string) (Record, bool) {
+// ParseFrame validates one framed line (without its trailing newline) and
+// unmarshals the payload into v, reporting ok=false for a torn or corrupt
+// frame.
+func ParseFrame(line string, v any) bool {
 	i := strings.LastIndexByte(line, ' ')
 	if i < 0 {
-		return Record{}, false
+		return false
 	}
 	payload, crcHex := line[:i], line[i+1:]
 	want, err := strconv.ParseUint(crcHex, 16, 32)
 	if err != nil || len(crcHex) != 8 {
-		return Record{}, false
+		return false
 	}
 	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
-		return Record{}, false
+		return false
 	}
+	return json.Unmarshal([]byte(payload), v) == nil
+}
+
+// frame serializes a record as one self-checking line.
+func frame(r Record) ([]byte, error) { return Frame(r) }
+
+// parseLine validates one framed line, returning ok=false for a torn or
+// corrupt frame.
+func parseLine(line string) (Record, bool) {
 	var r Record
-	if err := json.Unmarshal([]byte(payload), &r); err != nil {
+	if !ParseFrame(line, &r) {
 		return Record{}, false
 	}
 	return r, true

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/fs"
+	"repro/internal/integrity"
 	"repro/internal/sched"
 	"repro/internal/supervise"
 )
@@ -44,6 +45,13 @@ type CampaignReport struct {
 	// Decisions is the supervision decision log when the campaign was
 	// supervised (nil otherwise).
 	Decisions []supervise.Decision
+	// Integrity accounts corruption detection and repair when the campaign
+	// ran with bit-rot injection or scrubbing (all zero otherwise, so
+	// reports stay comparable to integrity-free runs).
+	Integrity integrity.Stats
+	// ScrubDecisions is the scrub/repair decision log (nil when no
+	// integrity machinery ran). Deterministic for a fixed seed.
+	ScrubDecisions []integrity.Decision
 }
 
 // l2Path is the modelled storage path of one step's Level 2 file (also the
@@ -72,6 +80,28 @@ type campaignHooks struct {
 	// injected process-crash point. runCampaign reports crashed=true if
 	// events were still pending.
 	runUntil float64
+	// onSetup hands ResumableCampaign the engine's clock and modelled
+	// storage before any event runs — the integrity layer schedules bit-rot
+	// events and timestamps scrub decisions through them.
+	onSetup func(sim *des.Sim, storage *fs.System)
+	// scrub, when non-nil, co-schedules periodic scrubber jobs on the
+	// analysis cluster (the paper's co-scheduling slot reused for
+	// background verification).
+	scrub *scrubDriver
+}
+
+// scrubDriver runs a Scrubber as co-scheduled jobs inside the campaign
+// engine: every Interval a small job lands on the post cluster and, on
+// completion, re-verifies the next Batch ledger products.
+type scrubDriver struct {
+	scr *integrity.Scrubber
+	pol ScrubPolicy
+	// jobs counts submissions, done completions (done is subtracted from
+	// the report's AnalysisJobs — scrub jobs are not analysis).
+	jobs, done int
+	// stopped halts the ticker when the simulation job ends; products
+	// landing after that are covered by the final sweep.
+	stopped bool
 }
 
 // Campaign runs a co-scheduled combined-workflow campaign over the given
@@ -102,6 +132,9 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	inj := s.injector()
 	storage := fs.New(&sim, "lustre")
 	storage.SetFaults(inj)
+	if h.onSetup != nil {
+		h.onSetup(&sim, storage)
+	}
 	for _, step := range h.preloadSteps {
 		storage.Restore(l2Path(step), ph.levels.Level2Bytes)
 	}
@@ -200,6 +233,9 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 		},
 		OnComplete: func(j *sched.Job) {
 			rep.SimWallClock = j.EndTime
+			if h.scrub != nil {
+				h.scrub.stopped = true
+			}
 			sim.After(1, func() {
 				listener.Stop()
 				listener.Drain(s.ListenerPoll, drainSweeps)
@@ -210,6 +246,9 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 		// spinning the poll loop forever.
 		OnGiveUp: func(*sched.Job) {
 			rep.SimWallClock = sim.Now()
+			if h.scrub != nil {
+				h.scrub.stopped = true
+			}
 			sim.After(1, func() {
 				listener.Stop()
 				listener.Drain(s.ListenerPoll, drainSweeps)
@@ -218,6 +257,35 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	}
 	if err := simCluster.Submit(simJob); err != nil {
 		return nil, false, err
+	}
+	// The background scrubber rides the co-scheduling allocation: small
+	// periodic jobs on the analysis cluster re-verify committed products.
+	// The ticker stops with the simulation job; products committed after
+	// that are covered by the final full sweep.
+	if h.scrub != nil {
+		d := h.scrub
+		d.scr.OnGiveUp = func(p integrity.Product) {
+			sup.Note(p.Path, "integrity-give-up", "corrupt product could not be re-derived; escalating")
+		}
+		var tick func()
+		tick = func() {
+			if d.stopped {
+				return
+			}
+			d.jobs++
+			job := &sched.Job{Name: fmt.Sprintf("scrub-%03d", d.jobs), Nodes: d.pol.Nodes, Duration: d.pol.JobSeconds}
+			job.OnComplete = func(*sched.Job) {
+				d.done++
+				d.scr.Stats.ScrubJobs++
+				d.scr.SweepNext(d.pol.Batch)
+			}
+			if err := postCluster.Submit(job); err != nil {
+				d.stopped = true
+				return
+			}
+			sim.After(d.pol.Interval, tick)
+		}
+		sim.After(d.pol.Interval, tick)
 	}
 	if h.runUntil > 0 {
 		sim.RunUntil(h.runUntil)
@@ -234,6 +302,10 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	rep.Decisions = sup.Decisions()
 	rep.TotalWallClock = sim.Now()
 	rep.AnalysisJobs = len(postCluster.Finished())
+	if h.scrub != nil {
+		// Scrub jobs share the cluster but are not analysis.
+		rep.AnalysisJobs -= h.scrub.done
+	}
 	rep.MaxPileUp = postCluster.MaxPendingSeen
 	overlapped := 0
 	for _, start := range jobStarts {

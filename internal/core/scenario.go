@@ -67,6 +67,44 @@ type Scenario struct {
 	// means rescue-only degradation when gray failures are injected, and
 	// no degradation otherwise.
 	Degrade *DegradePolicy
+	// Scrub, when set, co-schedules a background integrity scrubber with
+	// the analysis jobs: small periodic jobs on the post cluster re-verify
+	// committed products against the lineage ledger and repair mismatches
+	// by minimal re-derivation. Only ResumableCampaign honors it (plain
+	// Campaign has no persisted products to scrub). nil disables scrubbing;
+	// zero fields take defaults (see ScrubPolicy).
+	Scrub *ScrubPolicy
+}
+
+// ScrubPolicy shapes the co-scheduled background scrubber. The zero value
+// of each field takes the default noted on it.
+type ScrubPolicy struct {
+	// Interval is the virtual seconds between scrub jobs (default 300).
+	Interval float64
+	// Batch is how many products one scrub job re-verifies (default 4).
+	Batch int
+	// Nodes is the job's node allocation on the post cluster (default 1 —
+	// the scrubber rides along without displacing analysis).
+	Nodes int
+	// JobSeconds is the modelled duration of one scrub job (default 5).
+	JobSeconds float64
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (p ScrubPolicy) withDefaults() ScrubPolicy {
+	if p.Interval == 0 {
+		p.Interval = 300
+	}
+	if p.Batch == 0 {
+		p.Batch = 4
+	}
+	if p.Nodes == 0 {
+		p.Nodes = 1
+	}
+	if p.JobSeconds == 0 {
+		p.JobSeconds = 5
+	}
+	return p
 }
 
 // Validate reports scenario construction errors.
@@ -94,6 +132,11 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Degrade != nil && s.Degrade.StepBudget < 0 {
 		return fmt.Errorf("core: scenario %q step budget %g", s.Name, s.Degrade.StepBudget)
+	}
+	if s.Scrub != nil {
+		if s.Scrub.Interval < 0 || s.Scrub.Batch < 0 || s.Scrub.Nodes < 0 || s.Scrub.JobSeconds < 0 {
+			return fmt.Errorf("core: scenario %q scrub policy has negative fields", s.Name)
+		}
 	}
 	return nil
 }

@@ -77,6 +77,11 @@ type Algorithm interface {
 // simulation loop — the paper's InSituAnalysisManager.
 type Manager struct {
 	algorithms []Algorithm
+	// Clock supplies the time source for per-algorithm timings (drivers
+	// set it to time.Now). When nil, Execute records no timings — analysis
+	// results stay a pure function of their inputs, which the determinism
+	// lint and the reproducibility property tests rely on.
+	Clock func() time.Time
 }
 
 // Register appends an algorithm. Registering two algorithms with the same
@@ -131,11 +136,16 @@ func (m *Manager) Execute(ctx *Context) error {
 		if !a.ShouldExecute(ctx) {
 			continue
 		}
-		start := time.Now()
+		var start time.Time
+		if m.Clock != nil {
+			start = m.Clock()
+		}
 		if err := a.Execute(ctx); err != nil {
 			return fmt.Errorf("cosmotools: %s at step %d: %w", a.Name(), ctx.Step, err)
 		}
-		ctx.Timings[a.Name()] += time.Since(start)
+		if m.Clock != nil {
+			ctx.Timings[a.Name()] += m.Clock().Sub(start)
+		}
 	}
 	return nil
 }

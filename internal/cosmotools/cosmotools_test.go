@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/grid"
 
@@ -222,7 +223,14 @@ func TestManagerConfigure(t *testing.T) {
 }
 
 func TestContextRecordsTimings(t *testing.T) {
+	// A fake clock advancing one second per reading: timing comes from the
+	// injected source, never the wall.
 	var m Manager
+	tick := 0
+	m.Clock = func() time.Time {
+		tick++
+		return time.Unix(int64(tick), 0)
+	}
 	a := &fakeAlgo{name: "a", runEvery: 1}
 	if err := m.Register(a); err != nil {
 		t.Fatal(err)
@@ -231,11 +239,25 @@ func TestContextRecordsTimings(t *testing.T) {
 	if err := m.Execute(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := ctx.Timings["a"]; !ok {
-		t.Error("no timing recorded")
+	if got := ctx.Timings["a"]; got != time.Second {
+		t.Errorf("timing = %v, want 1s from the fake clock", got)
 	}
 	if keys := ctx.SortedOutputKeys(); len(keys) != 1 || keys[0] != "a/out" {
 		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestExecuteWithoutClockRecordsNoTimings(t *testing.T) {
+	var m Manager
+	if err := m.Register(&fakeAlgo{name: "a", runEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(1, 0.5, 10, 1, nbody.NewParticles(0))
+	if err := m.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Timings) != 0 {
+		t.Errorf("timings = %v, want none without a clock", ctx.Timings)
 	}
 }
 

@@ -151,13 +151,36 @@ type Profile struct {
 	// stuck past the deadline.
 	TransitDelayProb                       float64
 	TransitDelaySecMin, TransitDelaySecMax float64
+
+	// --- silent data corruption: nothing fails, the bytes lie ---
+
+	// BitRotProb is the probability one committed product file suffers a
+	// single flipped bit at rest, landing a delay drawn uniformly from
+	// [BitRotDelaySecMin, BitRotDelaySecMax] seconds after the commit
+	// (default [5, 900]). The flip preserves the file's length, so size
+	// checks pass and only checksum verification notices.
+	BitRotProb                           float64
+	BitRotDelaySecMin, BitRotDelaySecMax float64
+
+	// TransitCorruptProb is the probability one in-transit delivery hands
+	// the consumer a payload with a flipped bit (the staged copy stays
+	// good — the corruption is in the transfer). A checksum-verifying
+	// Take catches it and redelivers.
+	TransitCorruptProb float64
 }
 
 // Enabled reports whether the profile can inject any fault at all.
 func (p Profile) Enabled() bool {
 	return p.JobFailureProb > 0 || p.WriteFailProb > 0 || p.WriteTruncateProb > 0 ||
 		p.ConsumerAbortProb > 0 || len(p.ListenerOutages) > 0 || len(p.NodeDrains) > 0 ||
-		len(p.Crashes) > 0 || p.GrayEnabled()
+		len(p.Crashes) > 0 || p.GrayEnabled() || p.CorruptionEnabled()
+}
+
+// CorruptionEnabled reports whether the profile can inject any silent
+// data corruption — the class no failure machinery sees; only end-to-end
+// checksum verification (and the scrubber built on it) catches these.
+func (p Profile) CorruptionEnabled() bool {
+	return p.BitRotProb > 0 || p.TransitCorruptProb > 0
 }
 
 // GrayEnabled reports whether the profile can inject any gray failure —
@@ -187,6 +210,8 @@ func (p Profile) Validate() error {
 		{"InSituSlowdownProb", p.InSituSlowdownProb},
 		{"SubmitFailProb", p.SubmitFailProb},
 		{"TransitDelayProb", p.TransitDelayProb},
+		{"BitRotProb", p.BitRotProb},
+		{"TransitCorruptProb", p.TransitCorruptProb},
 	}
 	for _, pr := range probs {
 		if pr.v < 0 || pr.v > 1 {
@@ -252,6 +277,12 @@ func (p Profile) Validate() error {
 		if p.TransitDelaySecMin < 0 || p.TransitDelaySecMax < p.TransitDelaySecMin {
 			return fmt.Errorf("fault: TransitDelaySecMin/Max = [%g, %g] negative or inverted",
 				p.TransitDelaySecMin, p.TransitDelaySecMax)
+		}
+	}
+	if p.BitRotDelaySecMin != 0 || p.BitRotDelaySecMax != 0 {
+		if p.BitRotDelaySecMin < 0 || p.BitRotDelaySecMax < p.BitRotDelaySecMin {
+			return fmt.Errorf("fault: BitRotDelaySecMin/Max = [%g, %g] negative or inverted",
+				p.BitRotDelaySecMin, p.BitRotDelaySecMax)
 		}
 	}
 	return nil
@@ -503,6 +534,40 @@ func (in *Injector) TransitDelay(key string, delivery int) float64 {
 		lo, hi = 1, 30
 	}
 	return lo + r.Float64()*(hi-lo)
+}
+
+// BitRot decides whether the epoch-th committed incarnation of the
+// product at path rots at rest (epoch distinguishes re-commits of the
+// same path across campaign generations), returning the delay in seconds
+// after the commit at which the flip lands and the flipped bit's position
+// as a fraction of the file's bits.
+func (in *Injector) BitRot(path string, epoch int) (delaySec, bitFrac float64, rot bool) {
+	if in == nil || in.p.BitRotProb <= 0 {
+		return 0, 0, false
+	}
+	r := in.rng("rot", path, epoch)
+	if r.Float64() >= in.p.BitRotProb {
+		return 0, 0, false
+	}
+	lo, hi := in.p.BitRotDelaySecMin, in.p.BitRotDelaySecMax
+	if lo == 0 && hi == 0 {
+		lo, hi = 5, 900
+	}
+	return lo + r.Float64()*(hi-lo), r.Float64(), true
+}
+
+// TransitCorrupt decides whether the delivery-th hand-out (0-based) of
+// the keyed in-transit item is corrupted in transfer, returning the
+// flipped bit's position as a fraction of the payload's bits.
+func (in *Injector) TransitCorrupt(key string, delivery int) (bitFrac float64, corrupt bool) {
+	if in == nil || in.p.TransitCorruptProb <= 0 {
+		return 0, false
+	}
+	r := in.rng("xfer", key, delivery)
+	if r.Float64() >= in.p.TransitCorruptProb {
+		return 0, false
+	}
+	return r.Float64(), true
 }
 
 // factorRange resolves a slowdown-factor range, defaulting to [1.5, 4]

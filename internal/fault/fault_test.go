@@ -209,6 +209,10 @@ func TestValidateRejectsMalformedProfiles(t *testing.T) {
 		{"inverted stall fracs", Profile{JobStallFracMin: 0.9, JobStallFracMax: 0.1}, "ordered sub-range"},
 		{"stall frac above one", Profile{JobStallFracMin: 0.5, JobStallFracMax: 1.5}, "ordered sub-range"},
 		{"negative transit delay", Profile{TransitDelaySecMin: -5, TransitDelaySecMax: 10}, "negative or inverted"},
+		{"bit-rot probability above one", Profile{BitRotProb: 1.2}, "not a probability"},
+		{"negative transit-corrupt probability", Profile{TransitCorruptProb: -0.2}, "not a probability"},
+		{"inverted bit-rot delay", Profile{BitRotDelaySecMin: 900, BitRotDelaySecMax: 30}, "negative or inverted"},
+		{"negative bit-rot delay", Profile{BitRotDelaySecMin: -1, BitRotDelaySecMax: 10}, "negative or inverted"},
 	}
 	for _, tc := range cases {
 		err := tc.p.Validate()
@@ -328,6 +332,97 @@ func TestDegradedWindowsCompound(t *testing.T) {
 	}{{50, 1}, {150, 2}, {250, 3}, {350, 1.5}, {450, 1}, {550, 2}} {
 		if got := in.DegradeFactorAt(tc.t); got != tc.want {
 			t.Errorf("DegradeFactorAt(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestCorruptionDrawsAreSeededAndOrderIndependent(t *testing.T) {
+	p := Profile{Seed: 9, BitRotProb: 0.5, BitRotDelaySecMin: 10, BitRotDelaySecMax: 500,
+		TransitCorruptProb: 0.5}
+	a, b := MustNew(p), MustNew(p)
+	// Interleave draws differently between the two injectors: keyed
+	// substreams must make the order irrelevant.
+	type rot struct {
+		delay, frac float64
+		hit         bool
+	}
+	got := map[string]rot{}
+	for i := 0; i < 20; i++ {
+		key := "l2/step" + string(rune('a'+i)) + ".gio"
+		d, f, hit := a.BitRot(key, 1)
+		got[key] = rot{d, f, hit}
+	}
+	for i := 19; i >= 0; i-- {
+		key := "l2/step" + string(rune('a'+i)) + ".gio"
+		b.TransitCorrupt(key, 0) // extra unrelated draws must not shift bit-rot draws
+		d, f, hit := b.BitRot(key, 1)
+		if w := got[key]; d != w.delay || f != w.frac || hit != w.hit {
+			t.Fatalf("draw for %s differs across injectors/orders", key)
+		}
+	}
+	hits := 0
+	for _, r := range got {
+		if !r.hit {
+			continue
+		}
+		hits++
+		if r.delay < 10 || r.delay > 500 {
+			t.Errorf("rot delay %g outside [10,500]", r.delay)
+		}
+		if r.frac < 0 || r.frac >= 1 {
+			t.Errorf("rot bit fraction %g outside [0,1)", r.frac)
+		}
+	}
+	if hits == 0 || hits == 20 {
+		t.Errorf("%d/20 rot hits at prob 0.5 — draws look degenerate", hits)
+	}
+	// Different epochs re-draw.
+	same := true
+	for i := 0; i < 20; i++ {
+		key := "l2/step" + string(rune('a'+i)) + ".gio"
+		_, _, hit1 := a.BitRot(key, 1)
+		_, _, hit2 := a.BitRot(key, 2)
+		if hit1 != hit2 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("epoch is not part of the bit-rot draw key")
+	}
+}
+
+func TestTransitCorruptDraws(t *testing.T) {
+	in := MustNew(Profile{Seed: 4, TransitCorruptProb: 0.4})
+	hits := 0
+	for i := 0; i < 200; i++ {
+		frac, corrupt := in.TransitCorrupt("item", i)
+		if !corrupt {
+			continue
+		}
+		hits++
+		if frac < 0 || frac >= 1 {
+			t.Fatalf("corrupt bit fraction %g outside [0,1)", frac)
+		}
+	}
+	if hits < 40 || hits > 140 {
+		t.Errorf("%d/200 transit corruptions at prob 0.4", hits)
+	}
+	var nilIn *Injector
+	if _, corrupt := nilIn.TransitCorrupt("item", 0); corrupt {
+		t.Error("nil injector corrupted a transfer")
+	}
+	if _, _, rot := nilIn.BitRot("p", 0); rot {
+		t.Error("nil injector rotted a file")
+	}
+}
+
+func TestCorruptionEnabledWiring(t *testing.T) {
+	if (Profile{}).CorruptionEnabled() {
+		t.Error("zero profile reports corruption enabled")
+	}
+	for _, p := range []Profile{{BitRotProb: 0.1}, {TransitCorruptProb: 0.1}} {
+		if !p.CorruptionEnabled() || !p.Enabled() {
+			t.Errorf("%+v not reported enabled", p)
 		}
 	}
 }

@@ -36,6 +36,10 @@ type File struct {
 	// represents (the workflow engine hands halo particle sets through
 	// here instead of re-serializing them).
 	Payload any
+	// Corrupt marks a file whose bytes rotted at rest: its size and
+	// visibility are unchanged (silent corruption trips no length check),
+	// only end-to-end verification notices.
+	Corrupt bool
 }
 
 // System is one storage tier on a discrete-event clock.
@@ -49,6 +53,8 @@ type System struct {
 	// Fault counters (zero under a nil injector).
 	WriteFailures   int
 	TruncatedWrites int
+	// Corruptions counts files marked corrupt at rest (see Corrupt).
+	Corruptions int
 }
 
 // New creates a storage tier bound to the simulation clock.
@@ -171,6 +177,20 @@ func (s *System) TotalBytes(prefix string) float64 {
 
 // Delete removes a file immediately (no-op when absent).
 func (s *System) Delete(path string) { delete(s.files, path) }
+
+// Corrupt marks a resident file as silently rotted at rest, reporting
+// whether a file was there to rot. Size and visibility are untouched —
+// that is what makes the corruption silent. A later overwrite of the
+// path clears the mark (the rewrite lands fresh bytes).
+func (s *System) Corrupt(path string) bool {
+	f, ok := s.files[path]
+	if !ok || f.Corrupt {
+		return ok
+	}
+	f.Corrupt = true
+	s.Corruptions++
+	return true
+}
 
 // Restore places a file on the tier, visible from t=0 — the campaign
 // resume path re-populating the modelled storage with products that

@@ -225,26 +225,30 @@ func decodeParticlesWide(buf []byte, n int) *nbody.Particles {
 // corrupt blocks with ErrChecksum; nothing is returned for a damaged
 // file — use ReadSalvage to recover the valid prefix instead.
 func Read(r io.Reader) ([]Block, error) {
-	blocks, err := read(r)
+	blocks, err := read(r, false)
 	if err != nil {
 		return nil, err
 	}
 	return blocks, nil
 }
 
-// ReadSalvage parses as much of a gio stream as is intact: every leading
-// block that is complete and passes its checksum is returned, together
-// with the error that stopped the scan (nil when the whole stream was
-// valid). This is the recovery path for output torn by a crash mid-write
-// — the resumable campaign uses it to report how much of an unjournaled
-// file survived before redoing the step.
+// ReadSalvage parses as much of a gio stream as is intact: every block
+// that is complete and passes its checksum is returned, together with the
+// first error encountered (nil when the whole stream was valid). Unlike
+// the strict Read, a corrupt interior block — bit rot rather than a torn
+// tail — is skipped and the scan continues, since each block frames its
+// own payload length; only truncation stops the scan. This is the
+// recovery path for damaged output — the resumable campaign uses it to
+// report how much of an unjournaled file survived before redoing the step.
 func ReadSalvage(r io.Reader) ([]Block, error) {
-	return read(r)
+	return read(r, true)
 }
 
-// read parses blocks until the stream ends, tears, or corrupts, returning
-// whatever was valid plus the terminating error (nil on a clean parse).
-func read(r io.Reader) ([]Block, error) {
+// read parses blocks until the stream ends or tears, returning whatever
+// was valid plus the terminating (or, when salvaging, first) error. In
+// strict mode a corrupt block stops the scan; in salvage mode it is
+// skipped.
+func read(r io.Reader, salvage bool) ([]Block, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -268,25 +272,35 @@ func read(r io.Reader) ([]Block, error) {
 		return nil, fmt.Errorf("gio: reading block count: %w", tornErr(err))
 	}
 	blocks := make([]Block, 0, nBlocks)
+	var firstErr error
 	for bi := uint32(0); bi < nBlocks; bi++ {
 		var rank uint32
 		var count uint64
 		var crc uint32
 		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
-			return blocks, fmt.Errorf("gio: block %d rank: %w", bi, tornErr(err))
+			return blocks, firstOf(firstErr, fmt.Errorf("gio: block %d rank: %w", bi, tornErr(err)))
 		}
 		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-			return blocks, fmt.Errorf("gio: block %d count: %w", bi, tornErr(err))
+			return blocks, firstOf(firstErr, fmt.Errorf("gio: block %d count: %w", bi, tornErr(err)))
 		}
 		if err := binary.Read(br, binary.LittleEndian, &crc); err != nil {
-			return blocks, fmt.Errorf("gio: block %d crc: %w", bi, tornErr(err))
+			return blocks, firstOf(firstErr, fmt.Errorf("gio: block %d crc: %w", bi, tornErr(err)))
 		}
 		payload := make([]byte, int(count)*recSize)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return blocks, fmt.Errorf("gio: block %d payload: %w", bi, tornErr(err))
+			return blocks, firstOf(firstErr, fmt.Errorf("gio: block %d payload: %w", bi, tornErr(err)))
 		}
 		if got := crc32.ChecksumIEEE(payload); got != crc {
-			return blocks, fmt.Errorf("gio: block %d: %w: %08x != %08x", bi, ErrChecksum, got, crc)
+			err := fmt.Errorf("gio: block %d: %w: %08x != %08x", bi, ErrChecksum, got, crc)
+			if !salvage {
+				return blocks, err
+			}
+			// The payload framed its own length, so the stream cursor is
+			// already at the next block header: skip and keep scanning.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		var p *nbody.Particles
 		if ver == versionWide {
@@ -296,7 +310,15 @@ func read(r io.Reader) ([]Block, error) {
 		}
 		blocks = append(blocks, Block{Rank: int(rank), Particles: p})
 	}
-	return blocks, nil
+	return blocks, firstErr
+}
+
+// firstOf keeps the first error of a salvage scan when a later one ends it.
+func firstOf(first, last error) error {
+	if first != nil {
+		return first
+	}
+	return last
 }
 
 // tornErr maps io-level end-of-stream errors onto the ErrTruncated

@@ -328,15 +328,20 @@ func TestReadSalvage(t *testing.T) {
 		}
 	}
 
-	// Corrupt the middle block: only block 0 survives.
+	// Corrupt the middle block: bit rot, not a tear, so the blocks on
+	// either side survive — salvage skips the bad block and keeps going.
 	bad := append([]byte(nil), data...)
 	bad[len(Magic)+8+blockBytes+blockBytes-3] ^= 0x10
 	got, err = ReadSalvage(bytes.NewReader(bad))
 	if !errors.Is(err, ErrChecksum) {
 		t.Errorf("salvage corrupt error = %v, want ErrChecksum", err)
 	}
-	if len(got) != 1 {
-		t.Fatalf("salvaged %d blocks from corrupt file, want 1", len(got))
+	if len(got) != 2 || got[0].Rank != 0 || got[1].Rank != 2 {
+		t.Fatalf("salvaged %d blocks from corrupt file, want ranks 0 and 2", len(got))
+	}
+	// Strict Read must still refuse the whole file.
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("strict read of corrupt file = %v, want ErrChecksum", err)
 	}
 
 	// A clean file salvages everything with no error.
@@ -353,5 +358,56 @@ func TestReadSalvage(t *testing.T) {
 	got, err = ReadSalvageFile(path)
 	if !errors.Is(err, ErrTruncated) || len(got) != 2 {
 		t.Fatalf("salvage file: %d blocks, %v", len(got), err)
+	}
+}
+
+func TestReadSalvageMultipleCorruptBlocks(t *testing.T) {
+	const nBlocks = 6
+	blocks := make([]Block, nBlocks)
+	for i := range blocks {
+		blocks[i] = Block{Rank: i, Particles: randParticles(20, int64(40+i))}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, blocks); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	blockBytes := 4 + 8 + 4 + 20*RecordSize
+
+	// Rot three non-adjacent interior blocks (1, 3, 4): flip one payload
+	// bit in each, lengths untouched.
+	bad := append([]byte(nil), data...)
+	for _, bi := range []int{1, 3, 4} {
+		bad[len(Magic)+8+bi*blockBytes+16+5] ^= 0x01
+	}
+	got, err := ReadSalvage(bytes.NewReader(bad))
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("salvage error = %v, want ErrChecksum (first corrupt block)", err)
+	}
+	wantRanks := []int{0, 2, 5}
+	if len(got) != len(wantRanks) {
+		t.Fatalf("salvaged %d blocks, want %d", len(got), len(wantRanks))
+	}
+	for i, b := range got {
+		if b.Rank != wantRanks[i] {
+			t.Errorf("salvaged block %d has rank %d, want %d", i, b.Rank, wantRanks[i])
+		}
+		orig := blocks[wantRanks[i]].Particles
+		for j := 0; j < orig.N(); j++ {
+			if float32(b.Particles.X[j]) != float32(orig.X[j]) {
+				t.Fatalf("salvaged rank %d data corrupt at %d", b.Rank, j)
+			}
+		}
+	}
+
+	// Corruption plus a torn tail: the tear still stops the scan, and the
+	// reported error is the first one hit (the checksum, not the tear).
+	tornBad := bad[:len(bad)-blockBytes/2]
+	got, err = ReadSalvage(bytes.NewReader(tornBad))
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("torn+corrupt error = %v, want first error (ErrChecksum)", err)
+	}
+	if len(got) != 2 || got[0].Rank != 0 || got[1].Rank != 2 {
+		t.Fatalf("torn+corrupt salvaged %d blocks, want ranks 0 and 2", len(got))
 	}
 }

@@ -1,0 +1,250 @@
+package integrity
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ckpt"
+)
+
+// Stats accounts one campaign's integrity activity. All fields are zero
+// when no corruption was injected and no scrubbing ran, keeping reports
+// comparable to integrity-free runs.
+type Stats struct {
+	// ScrubJobs counts co-scheduled scrub jobs run; Verified the product
+	// verifications that passed (a product is typically verified many
+	// times over a campaign).
+	ScrubJobs, Verified int
+	// Corruptions counts checksum mismatches detected; Quarantined the
+	// corrupt files parked under a .quarantine name.
+	Corruptions, Quarantined int
+	// Repaired counts products successfully re-derived and re-verified;
+	// Escalated those whose re-derivation failed twice and were handed to
+	// the give-up path.
+	Repaired, Escalated int
+}
+
+// Decision is one entry of the scrub/repair decision log. Like the
+// supervision log, it is deterministic for a fixed seed: the property
+// tests require byte-identical logs across reruns.
+type Decision struct {
+	// T is the virtual time of the decision (0 for decisions taken during
+	// directory reconciliation, before the clock starts).
+	T float64
+	// Path is the product concerned.
+	Path string
+	// Event is the decision kind: "corrupt", "quarantine", "repair",
+	// "repair-fail", "give-up".
+	Event string
+	// Note carries the human-readable detail.
+	Note string
+}
+
+// String renders the decision in the fixed-width log format.
+func (d Decision) String() string {
+	return fmt.Sprintf("t=%-9.1f %-24s %-12s %s", d.T, d.Path, d.Event, d.Note)
+}
+
+// Scrubber re-verifies committed products against the lineage ledger and
+// repairs mismatches by minimal re-derivation. It is driven from the
+// campaign engine as co-scheduled small jobs (SweepNext) plus a final
+// full pass (SweepAll), and from directory reconciliation on resume
+// (CheckRepair).
+type Scrubber struct {
+	// Dir is the campaign directory product paths are relative to.
+	Dir string
+	// Ledger supplies the products to verify and the lineage to repair
+	// from.
+	Ledger *Ledger
+	// Rederive regenerates a product's bytes by re-running only its
+	// producing step (dispatching on Product.Producer/Step). Required for
+	// repair.
+	Rederive func(p Product) ([]byte, error)
+	// Now supplies the virtual clock for decision timestamps (nil: 0).
+	Now func() float64
+	// OnGiveUp fires when a product's re-derivation has failed twice —
+	// the escalation hook the campaign wires to its degradation policy.
+	OnGiveUp func(p Product)
+
+	// Stats accumulates across sweeps.
+	Stats Stats
+
+	decisions []Decision
+	cursor    int
+}
+
+// repairAttempts is how many re-derivations a product gets before the
+// scrubber gives up and escalates.
+const repairAttempts = 2
+
+// Decisions returns the decision log in the order taken.
+func (s *Scrubber) Decisions() []Decision { return s.decisions }
+
+func (s *Scrubber) now() float64 {
+	if s.Now == nil {
+		return 0
+	}
+	return s.Now()
+}
+
+func (s *Scrubber) decide(path, event, note string) {
+	s.decisions = append(s.decisions, Decision{T: s.now(), Path: path, Event: event, Note: note})
+}
+
+// Verify checks a product's on-disk bytes against its ledger record
+// (length and SHA-256), returning a descriptive error on mismatch.
+func (s *Scrubber) Verify(p Product) error {
+	data, err := os.ReadFile(filepath.Join(s.Dir, p.Path))
+	if err != nil {
+		return fmt.Errorf("integrity: %s unreadable: %w", p.Path, err)
+	}
+	if int64(len(data)) != p.Bytes {
+		return fmt.Errorf("integrity: %s is %d bytes, ledger says %d", p.Path, len(data), p.Bytes)
+	}
+	if got := Sum(data); got != p.Sum {
+		return fmt.Errorf("integrity: %s content sum %s.. does not match ledger %s..", p.Path, got[:8], p.Sum[:8])
+	}
+	return nil
+}
+
+// CheckRepair verifies one product and, on mismatch, quarantines and
+// repairs it, reporting whether the product is healthy afterwards. This
+// is the unit of work shared by the co-scheduled scrub jobs, the final
+// sweep, and resume-time reconciliation.
+func (s *Scrubber) CheckRepair(p Product) bool {
+	err := s.Verify(p)
+	if err == nil {
+		s.Stats.Verified++
+		return true
+	}
+	s.Stats.Corruptions++
+	s.decide(p.Path, "corrupt", err.Error())
+	s.quarantine(p)
+	return s.repair(p, true)
+}
+
+// quarantine parks the corrupt bytes under a .quarantine name for
+// forensics (a successful repair removes them; RemoveStaleTemps sweeps
+// leftovers on resume).
+func (s *Scrubber) quarantine(p Product) {
+	full := filepath.Join(s.Dir, p.Path)
+	q := full + ".quarantine"
+	//lint:allow atomicwrite parking corrupt bytes, not committing a product; durability of garbage is not worth an fsync
+	if err := os.Rename(full, q); err == nil {
+		s.Stats.Quarantined++
+		s.decide(p.Path, "quarantine", filepath.Base(q))
+	}
+}
+
+// repair re-derives the product from its lineage: inputs are verified
+// (and recursively repaired) first, then the producing step is re-run and
+// the result re-verified, at most repairAttempts times before escalating.
+func (s *Scrubber) repair(p Product, fixInputs bool) bool {
+	if s.Rederive == nil {
+		s.giveUp(p, "no re-derivation available")
+		return false
+	}
+	if fixInputs {
+		// Minimal re-derivation walks the lineage graph upward: a corrupt
+		// input would be baked into the regenerated product.
+		for _, in := range p.Inputs {
+			ip, ok := s.Ledger.Lookup(in)
+			if !ok {
+				continue
+			}
+			if s.Verify(ip) != nil {
+				s.Stats.Corruptions++
+				s.decide(ip.Path, "corrupt", "found while repairing "+p.Path)
+				s.quarantine(ip)
+				s.repair(ip, true)
+			}
+		}
+	}
+	for attempt := 1; attempt <= repairAttempts; attempt++ {
+		data, err := s.Rederive(p)
+		if err == nil && Sum(data) == p.Sum && int64(len(data)) == p.Bytes {
+			if err := ckpt.WriteFileAtomic(filepath.Join(s.Dir, p.Path), data); err == nil {
+				os.Remove(filepath.Join(s.Dir, p.Path) + ".quarantine")
+				s.Stats.Repaired++
+				s.decide(p.Path, "repair", fmt.Sprintf("re-derived via %s (attempt %d)", p.Producer, attempt))
+				return true
+			}
+			err = fmt.Errorf("rewrite failed")
+		}
+		note := "re-derived bytes do not match lineage sum"
+		if err != nil {
+			note = err.Error()
+		}
+		s.decide(p.Path, "repair-fail", fmt.Sprintf("attempt %d: %s", attempt, note))
+	}
+	s.giveUp(p, fmt.Sprintf("re-derivation failed %d times", repairAttempts))
+	return false
+}
+
+func (s *Scrubber) giveUp(p Product, note string) {
+	s.Stats.Escalated++
+	s.decide(p.Path, "give-up", note)
+	if s.OnGiveUp != nil {
+		s.OnGiveUp(p)
+	}
+}
+
+// SweepNext verifies the next batch products in ledger order, wrapping
+// around — the body of one co-scheduled scrub job. The round-robin cursor
+// makes the schedule deterministic: job k always scrubs the same window
+// of the ledger for a fixed fault seed.
+func (s *Scrubber) SweepNext(batch int) {
+	products := s.Ledger.Products()
+	if len(products) == 0 || batch <= 0 {
+		return
+	}
+	if batch > len(products) {
+		batch = len(products)
+	}
+	for i := 0; i < batch; i++ {
+		s.cursor %= len(products)
+		s.CheckRepair(products[s.cursor])
+		s.cursor++
+	}
+}
+
+// SweepAll verifies every ledger product once, in commit order — the
+// final full pass that guarantees a campaign ends with a clean product
+// set no matter how late the last corruption landed.
+func (s *Scrubber) SweepAll() {
+	for _, p := range s.Ledger.Products() {
+		s.CheckRepair(p)
+	}
+}
+
+// FlipBit deterministically corrupts one bit of data in place: the bit at
+// bitFrac of the way through the payload (clamped to [0, 1)). It is the
+// canonical injected fault: length-preserving, so only content checksums
+// notice.
+func FlipBit(data []byte, bitFrac float64) {
+	if len(data) == 0 {
+		return
+	}
+	if bitFrac < 0 {
+		bitFrac = 0
+	}
+	if bitFrac >= 1 {
+		bitFrac = 0.999999
+	}
+	bit := int(bitFrac * float64(len(data)*8))
+	data[bit/8] ^= 1 << (bit % 8)
+}
+
+// CorruptFile flips one bit of the file at path in place, preserving its
+// length — the at-rest bit-rot injection. The write is deliberately
+// non-atomic: corruption does not announce itself with a rename.
+func CorruptFile(path string, bitFrac float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	FlipBit(data, bitFrac)
+	//lint:allow atomicwrite deliberate in-place corruption: bit-rot injection must not look like a commit
+	return os.WriteFile(path, data, 0o644)
+}

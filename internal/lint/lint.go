@@ -56,7 +56,7 @@ func Analyzers() []*analysis.Analyzer {
 var deterministicPkgs = map[string]bool{
 	"nbody": true, "ic": true, "halo": true, "center": true,
 	"subhalo": true, "so": true, "powerspec": true, "core": true,
-	"gio": true, "ckpt": true,
+	"gio": true, "ckpt": true, "cosmotools": true, "integrity": true,
 }
 
 func isDeterministicPkg(pkg *types.Package) bool {

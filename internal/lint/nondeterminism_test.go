@@ -9,5 +9,5 @@ import (
 
 func TestNondeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.Nondeterminism,
-		"nondet_flagged", "nondet_clean", "nondet_otherpkg", "nondet_allow")
+		"nondet_flagged", "nondet_clean", "nondet_otherpkg", "nondet_allow", "nondet_clock")
 }

@@ -344,6 +344,10 @@ func (c *Cluster) fail(j *Job) {
 	if c.isSmall(j) {
 		c.runningSmall--
 	}
+	// The attempt is over and its nodes are back: clear Started so a later
+	// cancel (say, the primary finishing while this backup sits in backoff)
+	// cannot free them a second time.
+	j.Started = false
 	j.History = append(j.History, Attempt{Start: j.StartTime, End: now})
 	c.FailedAttempts++
 	c.TimeLost += now - j.StartTime
@@ -359,7 +363,12 @@ func (c *Cluster) fail(j *Job) {
 	if j.Attempt < c.Retry.MaxAttempts {
 		c.Resubmits++
 		delay := c.Retry.delay(c.Faults, j.Name, j.Attempt)
-		c.Sim.After(delay, func() { _ = c.Submit(j) })
+		attempt := j.Attempt // a cancel during backoff orphans the resubmit
+		c.Sim.After(delay, func() {
+			if !j.cancelled && j.Attempt == attempt {
+				_ = c.Submit(j)
+			}
+		})
 	} else {
 		j.Failed = true
 		c.LostJobs++

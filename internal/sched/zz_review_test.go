@@ -15,7 +15,10 @@ import (
 // the already-completed primary.
 func TestReviewHedgeBackoffCancel(t *testing.T) {
 	var sim des.Sim
-	m := platform.Machine{Name: "m", Nodes: 10, PeakPFs: 1, MemPB: 1, StorePB: 1, IOTBs: 1}
+	m := platform.Machine{
+		Name: "m", Nodes: 10, CoresPerNode: 16, ChargeFactor: 30,
+		CPUFactor: 1, IOBandwidth: 1e9, NetBandwidth: 1e9,
+	}
 	c, err := NewCluster(&sim, m)
 	if err != nil {
 		t.Fatal(err)

@@ -28,6 +28,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/integrity"
 )
 
 // Item is one staged data product.
@@ -38,6 +41,11 @@ type Item struct {
 	Bytes int64
 	// Payload is the in-memory product, handed over zero-copy.
 	Payload any
+	// Sum is the content address (integrity.Sum) of a []byte payload. Put
+	// fills it automatically; Take verifies the delivered bytes against it
+	// and retries the transfer on mismatch, so a bit flipped on the staging
+	// device or the interconnect never reaches analysis unnoticed.
+	Sum string
 	// Delivery is set by the stage: how many times this item was handed to
 	// a consumer before (0 on first delivery, incremented on redelivery).
 	Delivery int
@@ -51,6 +59,15 @@ var ErrClosed = errors.New("transit: stage closed")
 // that its (simulated or real) analysis rank crashed mid-item: the item is
 // redelivered to another worker and the dying worker retires.
 var ErrConsumerDied = errors.New("transit: consumer died")
+
+// ErrItemChecksum is returned by Take when an item's payload failed its
+// content checksum on every delivery attempt — the staged copy itself is
+// corrupt (not just the transfer), so retransfer cannot help.
+var ErrItemChecksum = errors.New("transit: item payload fails its checksum")
+
+// maxChecksumDeliveries bounds transfer retries for a checksum-failing
+// item before Take gives up with ErrItemChecksum.
+const maxChecksumDeliveries = 8
 
 // inflightEntry tracks one handed-out item and when it left the queue
 // (for ack-deadline reaping).
@@ -75,13 +92,17 @@ type Stage struct {
 	clock       func() float64
 	ackDeadline float64
 
+	// Transfer-corruption injection (see SetFaults).
+	faults *fault.Injector
+
 	// Stats.
-	totalItems  int64
-	totalBytes  int64
-	peakUsed    int64
-	stallCount  int64
-	redelivered int64
-	reaped      int64
+	totalItems    int64
+	totalBytes    int64
+	peakUsed      int64
+	stallCount    int64
+	redelivered   int64
+	reaped        int64
+	corruptCaught int64
 }
 
 // NewStage creates a staging area holding at most capacity bytes.
@@ -121,6 +142,9 @@ func (s *Stage) Put(item Item) error {
 		return ErrClosed
 	}
 	item.Delivery = 0
+	if data, ok := item.Payload.([]byte); ok && item.Sum == "" {
+		item.Sum = integrity.Sum(data)
+	}
 	s.queue = append(s.queue, item)
 	s.used += item.Bytes
 	s.totalItems++
@@ -143,28 +167,58 @@ func (s *Stage) drained() bool {
 // or Redeliver resolves it — the consumer-crash protocol. It blocks until
 // an item is available; after Close it drains remaining (and redelivered)
 // items, then returns ErrClosed. After Abort it returns the abort error.
+//
+// A []byte payload is verified end-to-end against Item.Sum as it crosses
+// the device boundary. A transfer corrupted in flight (injected via
+// SetFaults) fails the check and is retransferred from the staged copy; a
+// payload that fails on every attempt is corrupt at rest on the device,
+// and Take returns ErrItemChecksum rather than hand poison to analysis.
 func (s *Stage) Take() (Item, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.drained() && s.abortErr == nil {
-		s.notEmpty.Wait()
+	for {
+		for len(s.queue) == 0 && !s.drained() && s.abortErr == nil {
+			s.notEmpty.Wait()
+		}
+		if s.abortErr != nil {
+			return Item{}, s.abortErr
+		}
+		if len(s.queue) == 0 {
+			return Item{}, ErrClosed
+		}
+		item := s.queue[0]
+		s.queue = s.queue[1:]
+		s.used -= item.Bytes
+		s.notFull.Broadcast()
+		if data, ok := item.Payload.([]byte); ok && item.Sum != "" {
+			delivered := data
+			if s.faults != nil {
+				if bitFrac, corrupt := s.faults.TransitCorrupt(item.Key, item.Delivery); corrupt {
+					delivered = append([]byte(nil), data...)
+					integrity.FlipBit(delivered, bitFrac)
+				}
+			}
+			if integrity.Sum(delivered) != item.Sum {
+				s.corruptCaught++
+				item.Delivery++
+				if item.Delivery >= maxChecksumDeliveries {
+					return Item{}, fmt.Errorf("transit: item %q: %w (%d transfer attempts)", item.Key, ErrItemChecksum, item.Delivery)
+				}
+				// Retransfer: the staged copy goes back to the head and the
+				// next attempt re-reads it (a fresh delivery, fresh draw).
+				s.queue = append([]Item{item}, s.queue...)
+				s.used += item.Bytes
+				continue
+			}
+			item.Payload = delivered
+		}
+		e := inflightEntry{item: item}
+		if s.clock != nil {
+			e.takenAt = s.clock()
+		}
+		s.inflight[item.Key] = e
+		return item, nil
 	}
-	if s.abortErr != nil {
-		return Item{}, s.abortErr
-	}
-	if len(s.queue) == 0 {
-		return Item{}, ErrClosed
-	}
-	item := s.queue[0]
-	s.queue = s.queue[1:]
-	s.used -= item.Bytes
-	e := inflightEntry{item: item}
-	if s.clock != nil {
-		e.takenAt = s.clock()
-	}
-	s.inflight[item.Key] = e
-	s.notFull.Broadcast()
-	return item, nil
 }
 
 // SetClock attaches a time source (virtual or wall) for ack-deadline
@@ -173,6 +227,16 @@ func (s *Stage) Take() (Item, error) {
 func (s *Stage) SetClock(now func() float64) {
 	s.mu.Lock()
 	s.clock = now
+	s.mu.Unlock()
+}
+
+// SetFaults attaches a seeded fault injector whose TransitCorrupt knob
+// flips bits in delivered payload copies — the corruption lives in the
+// transfer, not the staged original, so a retransfer can succeed. Set it
+// before any Take.
+func (s *Stage) SetFaults(inj *fault.Injector) {
+	s.mu.Lock()
+	s.faults = inj
 	s.mu.Unlock()
 }
 
@@ -350,6 +414,9 @@ type Stats struct {
 	// redelivered by the ack-deadline reaper.
 	Redelivered int64
 	Reaped      int64
+	// CorruptCaught counts payload deliveries rejected by the end-to-end
+	// checksum at the Take boundary (each failed transfer attempt counts).
+	CorruptCaught int64
 	// Queued, InFlight and Used describe the current state.
 	Queued   int
 	InFlight int
@@ -361,15 +428,16 @@ func (s *Stage) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		TotalItems:  s.totalItems,
-		TotalBytes:  s.totalBytes,
-		PeakUsed:    s.peakUsed,
-		StallCount:  s.stallCount,
-		Redelivered: s.redelivered,
-		Reaped:      s.reaped,
-		Queued:      len(s.queue),
-		InFlight:    len(s.inflight),
-		Used:        s.used,
+		TotalItems:    s.totalItems,
+		TotalBytes:    s.totalBytes,
+		PeakUsed:      s.peakUsed,
+		StallCount:    s.stallCount,
+		Redelivered:   s.redelivered,
+		Reaped:        s.reaped,
+		CorruptCaught: s.corruptCaught,
+		Queued:        len(s.queue),
+		InFlight:      len(s.inflight),
+		Used:          s.used,
 	}
 }
 
