@@ -274,7 +274,9 @@ func persistedCampaign(seed int64, steps int, dir string, crashTime float64, cra
 		if err != nil {
 			return err
 		}
-		j.Close()
+		if err := j.Close(); err != nil {
+			return err
+		}
 		m := ckpt.Replay(records)
 		gen = m.Generation
 		if m.Meta != nil {

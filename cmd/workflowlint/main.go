@@ -1,10 +1,13 @@
 // Command workflowlint is the multichecker for the repository's custom
 // static analyzers (internal/lint): nondeterminism, atomicwrite,
 // closecheck, lockdiscipline, sentinelwrap, mpicollective,
-// goroutineleak, errflow — the workflow invariants behind bit-identical
-// restarts, crash-consistent products, and the deadlock-free rank mesh,
-// machine-checked. The last three are interprocedural: they compute
-// facts over the call graph that cross package boundaries.
+// goroutineleak, errflow, lockorder — the workflow invariants behind
+// bit-identical restarts, crash-consistent products, and the
+// deadlock-free rank mesh, machine-checked. Several are
+// interprocedural: they compute facts over the call graph that cross
+// package boundaries (lockorder additionally publishes the package's
+// lock-order edges as a package-level fact, so AB/BA inversions split
+// across packages are caught).
 //
 // Two modes:
 //
@@ -22,9 +25,20 @@
 // golang.org/x/tools/go/analysis.
 //
 // With -json each diagnostic is one JSON object per line (file, line,
-// col, analyzer, message) — the shape CI annotation tooling consumes.
+// col, analyzer, message, fixable) — the shape CI annotation tooling
+// consumes. Output order is deterministic in every mode: diagnostics
+// sort by file, line, column, analyzer, message, so two runs over the
+// same tree are byte-identical.
 //
-// Exit status: 0 clean, 1 internal error, 2 diagnostics reported.
+// With -fix, suggested fixes (sentinelwrap's %v→%w rewrite,
+// closecheck's named-return close capture) are applied to the source
+// in place; only diagnostics without a fix are then reported. With
+// -fix -diff nothing is written: unified diffs go to stdout and the
+// exit status says whether the tree is fix-clean — the CI drift gate
+// is `workflowlint -fix -diff ./...` exiting 0.
+//
+// Exit status: 0 clean, 1 internal error, 2 diagnostics reported (or,
+// under -fix -diff, fixes pending).
 package main
 
 import (
@@ -43,6 +57,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -61,8 +76,10 @@ func main() {
 
 	flagsJSON := flag.Bool("flags", false, "print analyzer flags as JSON (vet tool protocol)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON, one object per line")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source in place")
+	diff := flag.Bool("diff", false, "with -fix, print diffs instead of writing files")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: workflowlint [-json] packages...\n   or: go vet -vettool=$(command -v workflowlint) packages...\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: workflowlint [-json] [-fix [-diff]] packages...\n   or: go vet -vettool=$(command -v workflowlint) packages...\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -70,19 +87,24 @@ func main() {
 	flag.Parse()
 
 	if *flagsJSON {
-		// cmd/go queries the tool's flags; we keep none beyond -json.
-		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON, one object per line"}]`)
+		// cmd/go queries the tool's flags and forwards matching command
+		// line arguments; declaring fix/diff here is what lets
+		// `go vet -vettool=... -fix` carry fixes through the vet protocol.
+		fmt.Println(`[` +
+			`{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON, one object per line"},` +
+			`{"Name":"fix","Bool":true,"Usage":"apply suggested fixes to the source in place"},` +
+			`{"Name":"diff","Bool":true,"Usage":"with -fix, print diffs instead of writing files"}]`)
 		return
 	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runUnitchecker(args[0], *jsonOut))
+		os.Exit(runUnitchecker(args[0], *jsonOut, *fix, *diff))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(runStandalone(args, *jsonOut))
+	os.Exit(runStandalone(args, *jsonOut, *fix, *diff))
 }
 
 func firstLine(s string) string {
@@ -112,6 +134,7 @@ type diagnostic struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
 }
 
 func (d diagnostic) posn() string {
@@ -119,9 +142,11 @@ func (d diagnostic) posn() string {
 }
 
 // runPackage applies the given analyzers (plus Requires) to one loaded
-// package, threading facts through store.
-func runPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, store *analysis.FactStore) ([]diagnostic, error) {
+// package, threading facts through store. The raw analysis.Diagnostic
+// slice rides along so -fix can reach the suggested edits.
+func runPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, store *analysis.FactStore) ([]diagnostic, []analysis.Diagnostic, error) {
 	var out []diagnostic
+	var raw []analysis.Diagnostic
 	base := &analysis.Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
 	err := analysis.Execute(analyzers, base, store, func(a *analysis.Analyzer, d analysis.Diagnostic) {
 		posn := fset.Position(d.Pos)
@@ -131,18 +156,45 @@ func runPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*as
 			Col:      posn.Column,
 			Analyzer: a.Name,
 			Message:  d.Message,
+			Fixable:  len(d.SuggestedFixes) > 0,
 		})
+		raw = append(raw, d)
 	})
-	return out, err
+	return out, raw, err
+}
+
+// sortDiagnostics puts findings into the canonical reporting order:
+// file, line, column, analyzer, message. Analyzer scheduling order and
+// map iteration inside analyzers must not leak into the output — CI
+// diffs two runs byte for byte.
+func sortDiagnostics(diags []diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }
 
 // report prints diagnostics and returns the exit status. JSON mode emits
 // one object per line on stdout (NDJSON, the CI-annotation contract);
-// the default renders human-readable lines on stderr.
+// the default renders human-readable lines on stderr. Both orders are
+// canonical (sortDiagnostics).
 func report(diags []diagnostic, jsonOut bool) int {
 	if len(diags) == 0 {
 		return 0
 	}
+	sortDiagnostics(diags)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
@@ -157,6 +209,56 @@ func report(diags []diagnostic, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.posn(), d.Analyzer, d.Message)
 	}
 	return 2
+}
+
+// runFixes applies (or, with diff, previews) the suggested fixes in raw.
+// It returns the number of files that would change. In diff mode
+// unified diffs go to stdout and nothing is written; otherwise files
+// are rewritten in place.
+func runFixes(fset *token.FileSet, raw []analysis.Diagnostic, diff bool) (int, error) {
+	fixed, err := analysis.ApplyFixes(fset, raw, os.ReadFile)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(fixed))
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if diff {
+			old, err := os.ReadFile(name)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Print(analysis.Diff(name, old, fixed[name]))
+			continue
+		}
+		st, err := os.Stat(name)
+		if err != nil {
+			return 0, err
+		}
+		// Rewriting a source file in place is the entire point of -fix;
+		// source files are not crash-committed data products.
+		//lint:allow atomicwrite -fix rewrites source files, not data products
+		if err := os.WriteFile(name, fixed[name], st.Mode().Perm()); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "workflowlint: fixed %s\n", name)
+	}
+	return len(names), nil
+}
+
+// unfixable filters to the diagnostics that carry no suggested fix —
+// after -fix has applied the rest, these are what remains for a human.
+func unfixable(diags []diagnostic) []diagnostic {
+	var out []diagnostic
+	for _, d := range diags {
+		if !d.Fixable {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // --- standalone mode ---
@@ -254,36 +356,52 @@ func loadPackages(patterns []string) (*token.FileSet, []*loadedPkg, error) {
 // fact store: dependency-only packages get the fact-producing analyzers
 // (their diagnostics are their owners' business when listed as
 // targets), targets get the full suite.
-func analyzePackages(fset *token.FileSet, loaded []*loadedPkg, store *analysis.FactStore) ([]diagnostic, error) {
+func analyzePackages(fset *token.FileSet, loaded []*loadedPkg, store *analysis.FactStore) ([]diagnostic, []analysis.Diagnostic, error) {
 	all := lint.Analyzers()
 	factOnly := analysis.FactProducers(all)
 	var diags []diagnostic
+	var raw []analysis.Diagnostic
 	for _, lp := range loaded {
 		analyzers := all
 		if lp.depOnly {
 			analyzers = factOnly
 		}
-		ds, err := runPackage(analyzers, fset, lp.files, lp.pkg, lp.info, store)
+		ds, rs, err := runPackage(analyzers, fset, lp.files, lp.pkg, lp.info, store)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", lp.meta.ImportPath, err)
+			return nil, nil, fmt.Errorf("%s: %w", lp.meta.ImportPath, err)
 		}
 		if !lp.depOnly {
 			diags = append(diags, ds...)
+			raw = append(raw, rs...)
 		}
 	}
-	return diags, nil
+	return diags, raw, nil
 }
 
-func runStandalone(patterns []string, jsonOut bool) int {
+func runStandalone(patterns []string, jsonOut, fix, diff bool) int {
 	fset, loaded, err := loadPackages(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
 		return 1
 	}
-	diags, err := analyzePackages(fset, loaded, analysis.NewFactStore())
+	diags, raw, err := analyzePackages(fset, loaded, analysis.NewFactStore())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
 		return 1
+	}
+	if fix {
+		changed, err := runFixes(fset, raw, diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+			return 1
+		}
+		if diff {
+			if changed > 0 {
+				return 2
+			}
+			return report(unfixable(diags), jsonOut)
+		}
+		diags = unfixable(diags)
 	}
 	return report(diags, jsonOut)
 }

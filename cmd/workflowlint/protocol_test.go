@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -346,4 +347,285 @@ func readLog(t *testing.T, path string) string {
 		t.Fatal(err)
 	}
 	return string(data)
+}
+
+// lockFixtureFiles is a two-package module whose AB/BA lock-order
+// inversion is split across the package boundary: package store
+// establishes Mu→Aux and exports both the edge (LockEdges package
+// fact) and Touch's acquisition set (LockSummary object fact); package
+// app contradicts the order once directly and once through a call made
+// while holding its own mutex. Every inversion is invisible to a
+// single-package analysis — the facts are the only carrier.
+var lockFixtureFiles = map[string]string{
+	"go.mod": "module lockfixture\n\ngo 1.22\n",
+	"store/store.go": `package store
+
+import "sync"
+
+var Mu sync.Mutex
+var Aux sync.Mutex
+
+// Establish pins the canonical order: Mu before Aux.
+func Establish() {
+	Mu.Lock()
+	Aux.Lock()
+	Aux.Unlock()
+	Mu.Unlock()
+}
+
+// Touch acquires Mu: callers holding another lock inherit the edge.
+func Touch() {
+	Mu.Lock()
+	Mu.Unlock()
+}
+`,
+	"app/app.go": `package app
+
+import (
+	"sync"
+
+	"lockfixture/store"
+)
+
+var Gate sync.Mutex
+
+// Inverted takes Aux before Mu — the reverse of store.Establish's
+// order, visible only through store's exported LockEdges.
+func Inverted() {
+	store.Aux.Lock()
+	store.Mu.Lock()
+	store.Mu.Unlock()
+	store.Aux.Unlock()
+}
+
+// Direct pins store.Mu before Gate.
+func Direct() {
+	store.Mu.Lock()
+	Gate.Lock()
+	Gate.Unlock()
+	store.Mu.Unlock()
+}
+
+// HoldAndCall acquires store.Mu through store.Touch while holding
+// Gate — the reverse of Direct's order, visible only through Touch's
+// exported LockSummary.
+func HoldAndCall() {
+	Gate.Lock()
+	store.Touch()
+	Gate.Unlock()
+}
+`,
+}
+
+// TestLockOrderParity seeds the cross-package AB/BA inversions and
+// requires both driver modes to find them: the vet protocol (facts ride
+// vetx files) and the standalone loader (facts stay in memory) must
+// report identical diagnostics, each including the lock-order
+// inversions.
+func TestLockOrderParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet with a fresh GOCACHE")
+	}
+
+	scratch := t.TempDir()
+	tool := buildTool(t, scratch)
+	fixture := filepath.Join(scratch, "lockfixture")
+	for name, content := range lockFixtureFiles {
+		path := filepath.Join(fixture, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env := envWith(os.Environ(), "GOCACHE", filepath.Join(scratch, "gocache"))
+	env = envWith(env, "GOFLAGS", "")
+
+	// Vet mode, naming only the leaf: store is a VetxOnly dependency, so
+	// its LockEdges and LockSummary facts reach app exclusively through
+	// the serialized vetx file.
+	vetCmd := exec.Command("go", "vet", "-vettool="+tool, "./app")
+	vetCmd.Dir = fixture
+	vetCmd.Env = env
+	var vetBuf bytes.Buffer
+	vetCmd.Stdout = &vetBuf
+	vetCmd.Stderr = &vetBuf
+	if err := vetCmd.Run(); err == nil {
+		t.Fatalf("vet run over inverted module unexpectedly clean:\n%s", vetBuf.String())
+	}
+	vetOut := vetBuf.String()
+	if n := strings.Count(vetOut, "lock order inversion"); n < 2 {
+		t.Errorf("vet mode found %d lock order inversions, want >= 2 (direct + via-call):\n%s", n, vetOut)
+	}
+
+	// Standalone over the same module.
+	saCmd := exec.Command(tool, "./...")
+	saCmd.Dir = fixture
+	saCmd.Env = env
+	var saBuf bytes.Buffer
+	saCmd.Stdout = &saBuf
+	saCmd.Stderr = &saBuf
+	if err := saCmd.Run(); err == nil {
+		t.Fatalf("standalone run over inverted module unexpectedly clean:\n%s", saBuf.String())
+	}
+	saOut := saBuf.String()
+	if n := strings.Count(saOut, "lock order inversion"); n < 2 {
+		t.Errorf("standalone mode found %d lock order inversions, want >= 2:\n%s", n, saOut)
+	}
+
+	vetDiags := normalizeDiags(t, strings.Split(vetOut, "\n"))
+	saDiags := normalizeDiags(t, strings.Split(saOut, "\n"))
+	if len(vetDiags) == 0 {
+		t.Fatal("no diagnostics parsed from vet output")
+	}
+	if fmt.Sprint(vetDiags) != fmt.Sprint(saDiags) {
+		t.Errorf("vet and standalone modes disagree on lockorder:\nvet:        %v\nstandalone: %v", vetDiags, saDiags)
+	}
+}
+
+// fixFixtureFiles holds one fixable sentinelwrap violation (%v on an
+// error) and one fixable closecheck violation (defer f.Close() in a
+// function with a named error result).
+var fixFixtureFiles = map[string]string{
+	"go.mod": "module fixfixture\n\ngo 1.22\n",
+	// Package blob deliberately is NOT one of atomicwrite's product
+	// packages: every diagnostic here must carry a fix, so -fix exits 0.
+	"blob/blob.go": `package blob
+
+import (
+	"fmt"
+	"os"
+)
+
+func Wrap(err error) error {
+	return fmt.Errorf("read block: %v", err)
+}
+
+func WriteAll(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+`,
+}
+
+// TestFixRoundTrip drives the whole -fix pipeline end to end: the
+// drift gate (-fix -diff) reports pending fixes with exit 2, -fix
+// rewrites the tree and exits 0 because every finding was fixable, the
+// re-lint is clean, and the drift gate then passes with empty output.
+func TestFixRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	scratch := t.TempDir()
+	tool := buildTool(t, scratch)
+	fixture := filepath.Join(scratch, "fixfixture")
+	for name, content := range fixFixtureFiles {
+		path := filepath.Join(fixture, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(args ...string) (string, string, int) {
+		cmd := exec.Command(tool, args...)
+		cmd.Dir = fixture
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		return stdout.String(), stderr.String(), code
+	}
+
+	// Drift gate on a dirty tree: exit 2, diffs on stdout, no writes.
+	stdout, stderr, code := run("-fix", "-diff", "./...")
+	if code != 2 {
+		t.Fatalf("-fix -diff on dirty tree: exit %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "+\treturn fmt.Errorf(\"read block: %w\", err)") {
+		t.Errorf("-fix -diff missing the %%w rewrite:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "cerr := f.Close()") {
+		t.Errorf("-fix -diff missing the close-capture rewrite:\n%s", stdout)
+	}
+	src, err := os.ReadFile(filepath.Join(fixture, "blob", "blob.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != fixFixtureFiles["blob/blob.go"] {
+		t.Fatal("-fix -diff modified the source tree; it must be read-only")
+	}
+
+	// Apply: everything here is fixable, so nothing remains to report.
+	_, stderr, code = run("-fix", "./...")
+	if code != 0 {
+		t.Fatalf("-fix: exit %d, want 0 (all findings fixable)\nstderr: %s", code, stderr)
+	}
+
+	// Round trip: the rewritten tree lints clean...
+	_, stderr, code = run("./...")
+	if code != 0 {
+		t.Fatalf("re-lint after -fix: exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	// ...and the fixed file still compiles.
+	buildCmd := exec.Command("go", "build", "./...")
+	buildCmd.Dir = fixture
+	if out, err := buildCmd.CombinedOutput(); err != nil {
+		t.Fatalf("fixed tree does not build: %v\n%s", err, out)
+	}
+
+	// Drift gate on the clean tree: exit 0, empty output.
+	stdout, stderr, code = run("-fix", "-diff", "./...")
+	if code != 0 || stdout != "" {
+		t.Fatalf("-fix -diff on clean tree: exit %d, stdout %q, want 0 and empty\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestJSONDeterministic runs -json twice over the violated fixture and
+// requires byte-identical output: the canonical sort order, not
+// scheduling or map iteration, decides the stream.
+func TestJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	scratch := t.TempDir()
+	tool := buildTool(t, scratch)
+	fixture := filepath.Join(scratch, "fixture")
+	writeFixture(t, fixture)
+	if err := os.WriteFile(filepath.Join(fixture, "app", "app.go"), []byte(appViolated), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	runJSON := func() string {
+		cmd := exec.Command(tool, "-json", "./...")
+		cmd.Dir = fixture
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = io.Discard
+		if err := cmd.Run(); err == nil {
+			t.Fatal("expected diagnostics, got clean run")
+		}
+		return stdout.String()
+	}
+	first := runJSON()
+	if first == "" {
+		t.Fatal("no JSON output")
+	}
+	if second := runJSON(); first != second {
+		t.Errorf("-json output differs between identical runs:\nrun 1:\n%s\nrun 2:\n%s", first, second)
+	}
 }

@@ -54,7 +54,11 @@ type vetConfig struct {
 // packages are the exception: none of the suite's fact roots (mpi
 // collectives, fs/gio/ckpt/catalog write entry points) can live there,
 // so an empty vetx is the complete answer and the parse is skipped.
-func runUnitchecker(cfgPath string, jsonOut bool) int {
+//
+// With fix set, this unit's suggested fixes are applied to (or, with
+// diff, previewed against) the package's own source files, so
+// `go vet -vettool=workflowlint -fix` carries the fix pipeline too.
+func runUnitchecker(cfgPath string, jsonOut, fix, diff bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
@@ -136,7 +140,7 @@ func runUnitchecker(cfgPath string, jsonOut bool) int {
 	if cfg.VetxOnly {
 		analyzers = analysis.FactProducers(analyzers)
 	}
-	diags, err := runPackage(analyzers, fset, files, pkg, info, store)
+	diags, raw, err := runPackage(analyzers, fset, files, pkg, info, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workflowlint: %s: %v\n", cfg.ImportPath, err)
 		return 1
@@ -147,6 +151,20 @@ func runUnitchecker(cfgPath string, jsonOut bool) int {
 	}
 	if cfg.VetxOnly {
 		return 0
+	}
+	if fix {
+		changed, err := runFixes(fset, raw, diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+			return 1
+		}
+		if diff {
+			if changed > 0 {
+				return 2
+			}
+			return report(unfixable(diags), jsonOut)
+		}
+		diags = unfixable(diags)
 	}
 	return report(diags, jsonOut)
 }

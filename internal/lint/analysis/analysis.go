@@ -9,9 +9,10 @@
 // mirror of the upstream types; if x/tools ever becomes available the
 // analyzers port with an import-path change only. The mirror covers
 // analyzers, diagnostics, analyzer dependencies (`Requires`/`ResultOf`),
-// and object/package Facts with gob serialization (see facts.go) so
-// interprocedural results survive the go vet action cache. Deliberately
-// out of scope: suggested fixes.
+// object/package Facts with gob serialization (see facts.go) so
+// interprocedural results survive the go vet action cache, and suggested
+// fixes (textual edits attached to diagnostics, applied by the driver's
+// -fix mode; see fix.go).
 package analysis
 
 import (
@@ -85,13 +86,35 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// A Diagnostic is a finding: a position and a message. End and Category
-// are optional, mirroring the upstream struct.
+// A Diagnostic is a finding: a position and a message. End, Category,
+// and SuggestedFixes are optional, mirroring the upstream struct.
 type Diagnostic struct {
 	Pos      token.Pos
 	End      token.Pos
 	Category string
 	Message  string
+
+	// SuggestedFixes are candidate machine-applicable repairs for the
+	// finding. A driver in -fix mode applies at most one fix per
+	// diagnostic (the first) and skips fixes whose edits overlap an
+	// already-applied fix.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained repair: a message describing the
+// change and the textual edits that perform it. Edits within one fix
+// must not overlap each other.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source in [Pos, End) with NewText. A pure
+// insertion has End == Pos (or End == token.NoPos).
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // Preorder visits every node of every file in depth-first preorder —

@@ -138,7 +138,54 @@ func parseFixtureFiles(pkgdir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
+// RunWithFixes applies an analyzer to each fixture package like Run
+// (// want comments are still enforced), then applies the diagnostics'
+// suggested fixes and compares each changed file against its golden
+// sibling (<file>.golden). A fixture file with a golden sibling MUST be
+// changed by the fixes, so golden files can't silently go stale.
+func RunWithFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkgdir := filepath.Join(dir, "src", pkg)
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			diags := runOne(t, pkgdir, a)
+			fixed, err := analysis.ApplyFixes(sharedFset, diags, os.ReadFile)
+			if err != nil {
+				t.Fatalf("applying fixes: %v", err)
+			}
+			goldens, err := filepath.Glob(filepath.Join(pkgdir, "*.golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := map[string]bool{}
+			for _, golden := range goldens {
+				src := strings.TrimSuffix(golden, ".golden")
+				wantSrc, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, ok := fixed[src]
+				if !ok {
+					t.Errorf("%s: fixes did not change the file, but a golden exists", src)
+					continue
+				}
+				if string(got) != string(wantSrc) {
+					t.Errorf("%s: fixed output differs from golden:\n%s",
+						src, analysis.Diff(src, wantSrc, got))
+				}
+				checked[src] = true
+			}
+			for file := range fixed {
+				if !checked[file] {
+					t.Errorf("%s: fixes changed the file but no %s.golden exists", file, filepath.Base(file))
+				}
+			}
+		})
+	}
+}
+
+func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
 	importerMu.Lock()
 	defer importerMu.Unlock()
@@ -195,6 +242,7 @@ func runOne(t *testing.T, pkgdir string, a *analysis.Analyzer) {
 			}
 		}
 	}
+	return diags
 }
 
 type lineKey struct {

@@ -9,5 +9,11 @@ import (
 
 func TestCloseCheck(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.CloseCheck,
-		"closecheck_flagged", "closecheck_journal", "closecheck_clean", "closecheck_allow")
+		"closecheck_flagged", "closecheck_journal", "closecheck_clean", "closecheck_allow",
+		"closecheck_flow")
+}
+
+func TestCloseCheckFix(t *testing.T) {
+	analysistest.RunWithFixes(t, analysistest.TestData(), lint.CloseCheck,
+		"closecheck_fix")
 }

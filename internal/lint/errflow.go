@@ -19,7 +19,11 @@ import (
 //
 // A call site discards such an error when the call is a bare statement,
 // a `go`/`defer` statement, or an assignment with `_` in every
-// error-typed result position. A dropped write error is silent data
+// error-typed result position. Additionally — flow-sensitively, over
+// the ctrlflow CFGs — an error captured into a variable is flagged when
+// some path to function exit neither reads it nor overwrites-after-
+// reading it (a write error checked on every path is clean; one
+// dropped on any path is not). A dropped write error is silent data
 // loss: the campaign resumes trusting a product that never reached the
 // disk. Deliberate discards (best-effort cleanup) take
 // //lint:allow errflow with justification.
@@ -30,7 +34,7 @@ var ErrFlow = &analysis.Analyzer{
 	Name:      "errflow",
 	Doc:       "forbid discarding errors that propagate from the fs/gio/ckpt/catalog write entry points",
 	Run:       runErrFlow,
-	Requires:  []*analysis.Analyzer{CallGraph},
+	Requires:  []*analysis.Analyzer{CallGraph, CtrlFlow},
 	FactTypes: []analysis.Fact{(*WriteErrorSource)(nil)},
 }
 
@@ -175,7 +179,69 @@ func runErrFlow(pass *analysis.Pass) (any, error) {
 			return true
 		})
 	}
+
+	// Phase 3 (flow-sensitive): write errors captured into variables
+	// must be consumed on every path to exit.
+	flow := pass.ResultOf[CtrlFlow].(*CFGResult)
+	for _, fc := range flow.Order {
+		if isTestFile(pass.Fset, fc.Body.Pos()) {
+			continue
+		}
+		checkCapturedErrors(pass, r, fc, siteRoots)
+	}
 	return nil, nil
+}
+
+// checkCapturedErrors flags assignments that capture a write error into
+// a variable some path then drops: the variable is not read (before
+// being overwritten) on every path from the assignment to exit. Bare
+// returns in named-result functions count as reads of the result.
+func checkCapturedErrors(pass *analysis.Pass, r *reporter, fc *FuncCFG, siteRoots func(*ast.CallExpr) (*types.Func, []string)) {
+	info := pass.TypesInfo
+	for _, blk := range fc.G.Blocks {
+		if !blk.Live {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, roots := siteRoots(call)
+			if fn == nil {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() != len(as.Lhs) {
+				continue
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if !isErrorType(sig.Results().At(i).Type()) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if !consumedAfter(info, fc, obj, true)[n] {
+					r.reportf(as.Pos(),
+						"error of %s assigned to %s but not checked on every path: it propagates write errors from %s; a dropped write error is silent data loss",
+						fn.Name(), id.Name, strings.Join(roots, ", "))
+				}
+			}
+		}
+	}
 }
 
 // reportDiscard flags a call whose error results all vanish (statement

@@ -9,5 +9,6 @@ import (
 
 func TestErrFlow(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.ErrFlow,
-		"errflow_flagged", "errflow_clean", "errflow_allow", "errflow_xpkg")
+		"errflow_flagged", "errflow_clean", "errflow_allow", "errflow_xpkg",
+		"errflow_flow")
 }

@@ -23,6 +23,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -33,10 +34,11 @@ import (
 )
 
 // Analyzers returns the full workflowlint suite in stable order: the
-// five intraprocedural checks from the original gate plus the three
-// interprocedural analyzers built on the callgraph/facts platform.
-// CallGraph itself is infrastructure, pulled in via Requires, and is
-// deliberately not listed.
+// five intraprocedural checks from the original gate, the three
+// interprocedural analyzers built on the callgraph/facts platform, and
+// the flow-sensitive lockorder deadlock analyzer built on the
+// CFG/dataflow layer. CallGraph and CtrlFlow are infrastructure, pulled
+// in via Requires, and are deliberately not listed.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Nondeterminism,
@@ -47,6 +49,7 @@ func Analyzers() []*analysis.Analyzer {
 		MPICollective,
 		GoroutineLeak,
 		ErrFlow,
+		LockOrder,
 	}
 }
 
@@ -117,16 +120,22 @@ func newReporter(pass *analysis.Pass) *reporter {
 }
 
 func (r *reporter) reportf(pos token.Pos, format string, args ...any) {
-	line := r.pass.Fset.Position(pos).Line
+	r.report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// report delivers a full diagnostic (suggested fixes included) through
+// the same //lint:allow suppression as reportf.
+func (r *reporter) report(d analysis.Diagnostic) {
+	line := r.pass.Fset.Position(d.Pos).Line
 	for f, lines := range r.allow {
-		if f.FileStart <= pos && pos < f.FileEnd {
+		if f.FileStart <= d.Pos && d.Pos < f.FileEnd {
 			if lines[line] {
 				return
 			}
 			break
 		}
 	}
-	r.pass.Reportf(pos, format, args...)
+	r.pass.Report(d)
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes

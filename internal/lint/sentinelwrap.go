@@ -123,15 +123,72 @@ func checkErrorfWrap(pass *analysis.Pass, r *reporter, call *ast.CallExpr) {
 	if strings.Contains(lit.Value, "%w") {
 		return
 	}
-	for _, arg := range call.Args[1:] {
+	for i, arg := range call.Args[1:] {
 		tv, ok := pass.TypesInfo.Types[arg]
 		if !ok || tv.Type == nil {
 			continue
 		}
 		if isErrorType(tv.Type) {
-			r.reportf(call.Pos(),
-				"fmt.Errorf formats an error without %%w: the chain is severed and errors.Is stops matching sentinels; use %%w (or //lint:allow sentinelwrap at a deliberate boundary)")
+			d := analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: "fmt.Errorf formats an error without %w: the chain is severed and errors.Is stops matching sentinels; use %w (or //lint:allow sentinelwrap at a deliberate boundary)",
+			}
+			if fix, ok := errorfWrapFix(lit, i); ok {
+				d.SuggestedFixes = []analysis.SuggestedFix{fix}
+			}
+			r.report(d)
 			return
 		}
 	}
+}
+
+// errorfWrapFix rewrites the verb that formats the error operand at
+// index errIdx (0-based, among the operands after the format string)
+// from %v or %s to %w. It walks the literal's source text so the edit
+// lands on the exact verb byte; anything that complicates the
+// operand↔verb mapping — `*` width/precision, explicit `%[n]` indexes,
+// a verb other than v/s — means no fix, only the diagnostic.
+func errorfWrapFix(lit *ast.BasicLit, errIdx int) (analysis.SuggestedFix, bool) {
+	src := lit.Value
+	operand := 0
+	for i := 0; i < len(src); i++ {
+		if src[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(src) {
+			return analysis.SuggestedFix{}, false
+		}
+		if src[i] == '%' {
+			continue
+		}
+		for i < len(src) && strings.ContainsRune("+-# 0", rune(src[i])) {
+			i++
+		}
+		for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+			i++
+		}
+		if i >= len(src) {
+			return analysis.SuggestedFix{}, false
+		}
+		switch c := src[i]; {
+		case c == '*' || c == '[':
+			return analysis.SuggestedFix{}, false
+		case operand == errIdx:
+			if c != 'v' && c != 's' {
+				return analysis.SuggestedFix{}, false
+			}
+			pos := lit.Pos() + token.Pos(i)
+			return analysis.SuggestedFix{
+				Message: "wrap the error with %w so errors.Is keeps matching",
+				TextEdits: []analysis.TextEdit{{
+					Pos:     pos,
+					End:     pos + 1,
+					NewText: []byte("w"),
+				}},
+			}, true
+		}
+		operand++
+	}
+	return analysis.SuggestedFix{}, false
 }

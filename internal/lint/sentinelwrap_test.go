@@ -11,3 +11,8 @@ func TestSentinelWrap(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.SentinelWrap,
 		"sentinelwrap_flagged", "sentinelwrap_clean", "sentinelwrap_allow")
 }
+
+func TestSentinelWrapFix(t *testing.T) {
+	analysistest.RunWithFixes(t, analysistest.TestData(), lint.SentinelWrap,
+		"sentinelwrap_fix")
+}

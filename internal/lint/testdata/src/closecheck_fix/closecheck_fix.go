@@ -1,0 +1,30 @@
+// Fix fixture for closecheck rule 1: `workflowlint -fix` rewrites a
+// flagged `defer f.Close()` into the named-return capture when the
+// enclosing function has a named error result `err`. The .golden
+// sibling is the expected post-fix file.
+package gio
+
+import "os"
+
+// WriteAll has the named error result the rewrite needs: fixable.
+func WriteAll(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f\.Close\(\) discards the close error on a file opened for writing`
+	_, err = f.Write(data)
+	return err
+}
+
+// WriteAnon returns an unnamed error: the capture would not compile, so
+// the diagnostic carries no fix and the golden keeps this line as is.
+func WriteAnon(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f\.Close\(\) discards the close error on a file opened for writing`
+	_, err = f.Write(data)
+	return err
+}

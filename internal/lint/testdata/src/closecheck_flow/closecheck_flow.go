@@ -1,0 +1,72 @@
+// Flow-sensitivity fixture for closecheck, pinning both directions of
+// the rewrite: the belt-and-braces idiom stops being flagged (a
+// token-order checker false-positives on it), and closes whose error is
+// dropped on some path start being flagged.
+package gio
+
+import "os"
+
+// WriteBoth is the belt-and-braces idiom: deferred backstop close plus
+// a checked close on the success path. Every path from the defer either
+// consumes a Close error or exits through an error return — clean.
+func WriteBoth(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSloppy drops the close error on the success path.
+func WriteSloppy(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	f.Close() // want `f\.Close\(\) discards the close error on a file opened for writing`
+	return werr
+}
+
+// WriteCapturedUnread captures the close error and then never reads it
+// on any path.
+func WriteCapturedUnread(path string, data []byte) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	_, err = f.Write(data)
+	cerr = f.Close() // want `close error of f captured into cerr but never checked`
+	return err
+}
+
+// WriteCapturedChecked reads the captured error on one branch (the
+// first-error-wins idiom) — clean under the may-consumed rule.
+func WriteCapturedChecked(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DeferStillFlagged has no checked close anywhere and an unguarded
+// return: the defer still drops the flush verdict.
+func DeferStillFlagged(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f\.Close\(\) discards the close error on a file opened for writing`
+	_, err = f.Write(data)
+	return err
+}

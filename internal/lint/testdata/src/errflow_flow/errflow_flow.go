@@ -1,0 +1,64 @@
+// Flow-sensitivity fixture for errflow, pinning both directions of the
+// rewrite: a captured write error checked on every path is clean, and
+// one dropped (unread or clobbered) on any path is flagged.
+package pipeline
+
+import "giostub"
+
+func save(path string) error {
+	return gio.WriteFile(path, nil)
+}
+
+// lostOnAPath checks the error only when c holds: the !c path drops it.
+func lostOnAPath(c bool) error {
+	err := save("x") // want `error of save assigned to err but not checked on every path`
+	if c {
+		return err
+	}
+	return nil
+}
+
+// clobbered overwrites the "b" error before any read.
+func clobbered() error {
+	err := save("a")
+	if err != nil {
+		return err
+	}
+	err = save("b") // want `error of save assigned to err but not checked on every path`
+	err = save("c")
+	return err
+}
+
+// checkedEverywhere returns the error on both branches: clean.
+func checkedEverywhere(c bool) error {
+	err := save("x")
+	if c {
+		return err
+	}
+	return err
+}
+
+// condChecked reads the error immediately in the condition — the read
+// dominates every path, so later ignoring it is fine.
+func condChecked() {
+	err := save("x")
+	if err != nil {
+		panic(err)
+	}
+}
+
+// loopChecked re-checks per iteration (init-statement capture): clean.
+func loopChecked(paths []string) error {
+	for _, p := range paths {
+		if err := save(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// namedBareReturn funnels the error out through a bare return: clean.
+func namedBareReturn() (err error) {
+	err = save("x")
+	return
+}

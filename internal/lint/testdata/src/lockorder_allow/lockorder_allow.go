@@ -1,0 +1,26 @@
+// Package lockorder_allow pins //lint:allow suppression for lockorder:
+// a deliberate inversion with justification comments is not reported.
+package lockorder_allow
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+)
+
+func AB() {
+	a.Lock()
+	defer a.Unlock()
+	//lint:allow lockorder shutdown path runs single-threaded
+	b.Lock()
+	b.Unlock()
+}
+
+func BA() {
+	b.Lock()
+	defer b.Unlock()
+	//lint:allow lockorder shutdown path runs single-threaded
+	a.Lock()
+	a.Unlock()
+}

@@ -1,0 +1,31 @@
+// Package lockorder_xa is the base package of the cross-package
+// lockorder fixtures. It establishes the order Store.Mu → Index.Mu
+// (exported via the LockEdges package fact) and exposes Touch, whose
+// LockSummary object fact says it acquires Store.Mu. No diagnostics
+// here — the inversions live in lockorder_xb.
+package lockorder_xa
+
+import "sync"
+
+type Store struct{ Mu sync.Mutex }
+type Index struct{ Mu sync.Mutex }
+
+var (
+	S Store
+	I Index
+)
+
+// Reindex establishes Store.Mu before Index.Mu.
+func Reindex() {
+	S.Mu.Lock()
+	defer S.Mu.Unlock()
+	I.Mu.Lock()
+	I.Mu.Unlock()
+}
+
+// Touch acquires Store.Mu; importers that call it while holding their
+// own locks extend the global order graph through its LockSummary fact.
+func Touch() {
+	S.Mu.Lock()
+	S.Mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package lockorder_xb seeds AB/BA inversions against lockorder_xa,
+// exercising both fact channels: Inverted/Straight close a cycle
+// through lockorder_xa.Touch's LockSummary object fact, and Backwards
+// inverts the Store.Mu → Index.Mu order imported via lockorder_xa's
+// LockEdges package fact.
+package lockorder_xb
+
+import (
+	"sync"
+
+	"lockorder_xa"
+)
+
+type Pool struct{ mu sync.Mutex }
+
+var P Pool
+
+// Inverted holds Pool.mu and calls into lockorder_xa, which acquires
+// Store.Mu: edge Pool.mu → Store.Mu.
+func Inverted() {
+	P.mu.Lock()
+	defer P.mu.Unlock()
+	lockorder_xa.Touch() // want `lock order inversion`
+}
+
+// Straight acquires Store.Mu directly, then Pool.mu: the reverse edge,
+// closing the AB/BA cycle with Inverted.
+func Straight() {
+	lockorder_xa.S.Mu.Lock()
+	P.mu.Lock() // want `lock order inversion`
+	P.mu.Unlock()
+	lockorder_xa.S.Mu.Unlock()
+}
+
+// Backwards acquires Index.Mu then Store.Mu — inverting the order
+// established inside lockorder_xa itself.
+func Backwards() {
+	lockorder_xa.I.Mu.Lock()
+	lockorder_xa.S.Mu.Lock() // want `lock order inversion`
+	lockorder_xa.S.Mu.Unlock()
+	lockorder_xa.I.Mu.Unlock()
+}

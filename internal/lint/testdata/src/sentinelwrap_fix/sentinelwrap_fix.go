@@ -1,0 +1,38 @@
+// Fix fixture for sentinelwrap rule 2: `workflowlint -fix` rewrites the
+// verb that formats the error operand from %v/%s to %w. The .golden
+// sibling is the expected post-fix file; RunWithFixes compares bytes.
+package gio
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrChecksum = errors.New("gio: block checksum mismatch")
+
+// readBlock: the error is the second operand; only its verb changes.
+func readBlock(path string) error {
+	return fmt.Errorf("read %s: %v", path, ErrChecksum) // want `fmt\.Errorf formats an error without %w`
+}
+
+// flush: %s on an error rewrites to %w just the same.
+func flush(err error) error {
+	return fmt.Errorf("flush failed: %s", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+// flagged: flags and width stick to the verb; the edit lands on the
+// verb byte only.
+func padded(err error) error {
+	return fmt.Errorf("op: %-10v (retrying)", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+// quoted: %q has no safe rewrite — diagnostic only, no fix, so the
+// golden keeps this line unchanged.
+func quoted(err error) error {
+	return fmt.Errorf("op: %q", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+// starWidth: `*` consumes an operand and breaks the mapping — no fix.
+func starWidth(w int, err error) error {
+	return fmt.Errorf("op: %*d %v", w, w, err) // want `fmt\.Errorf formats an error without %w`
+}
