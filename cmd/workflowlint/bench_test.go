@@ -8,12 +8,15 @@ import (
 )
 
 // BenchmarkWorkflowlintRepo measures a full standalone analysis pass —
-// all nine analyzers, facts, the call graph, and the per-function CFGs
-// — over every package in this repository. Loading (go list, parsing,
-// type-checking) happens once outside the timed loop; the benchmark
-// isolates the analysis cost, which is what grows as analyzers are
-// added.
+// all twelve analyzers, facts, the call graph, the per-function CFGs,
+// and the SSA-lite lowering plus taint fixpoints behind the value-flow
+// trio — over every package in this repository. Loading (go list,
+// parsing, type-checking) happens once outside the timed loop; the
+// benchmark isolates the analysis cost, which is what grows as
+// analyzers are added. tuneGC() mirrors the driver: the benchmark
+// measures analyzePackages exactly as `workflowlint ./...` runs it.
 func BenchmarkWorkflowlintRepo(b *testing.B) {
+	tuneGC()
 	fset, loaded, err := loadPackages([]string{"repro/..."})
 	if err != nil {
 		b.Fatal(err)

@@ -1,13 +1,15 @@
 // Command workflowlint is the multichecker for the repository's custom
 // static analyzers (internal/lint): nondeterminism, atomicwrite,
 // closecheck, lockdiscipline, sentinelwrap, mpicollective,
-// goroutineleak, errflow, lockorder — the workflow invariants behind
-// bit-identical restarts, crash-consistent products, and the
-// deadlock-free rank mesh, machine-checked. Several are
-// interprocedural: they compute facts over the call graph that cross
-// package boundaries (lockorder additionally publishes the package's
-// lock-order edges as a package-level fact, so AB/BA inversions split
-// across packages are caught).
+// goroutineleak, errflow, lockorder, dettaint, allocbound,
+// sharecapture — the workflow invariants behind bit-identical
+// restarts, crash-consistent products, and the deadlock-free rank
+// mesh, machine-checked. Several are interprocedural: they compute
+// facts over the call graph that cross package boundaries (lockorder
+// additionally publishes the package's lock-order edges as a
+// package-level fact, so AB/BA inversions split across packages are
+// caught; dettaint and allocbound carry per-function taint summaries
+// the same way). Run `workflowlint -list` for the full table.
 //
 // Two modes:
 //
@@ -26,9 +28,12 @@
 //
 // With -json each diagnostic is one JSON object per line (file, line,
 // col, analyzer, message, fixable) — the shape CI annotation tooling
-// consumes. Output order is deterministic in every mode: diagnostics
-// sort by file, line, column, analyzer, message, so two runs over the
-// same tree are byte-identical.
+// consumes. With -sarif the diagnostics render instead as one SARIF
+// 2.1.0 log on stdout — the interchange format code-scanning UIs
+// ingest — with one rule per analyzer and one result per finding.
+// Output order is deterministic in every mode: diagnostics sort by
+// file, line, column, analyzer, message, so two runs over the same
+// tree are byte-identical.
 //
 // With -fix, suggested fixes (sentinelwrap's %v→%w rewrite,
 // closecheck's named-return close capture) are applied to the source
@@ -57,6 +62,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 
@@ -76,11 +82,13 @@ func main() {
 
 	flagsJSON := flag.Bool("flags", false, "print analyzer flags as JSON (vet tool protocol)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON, one object per line")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as one SARIF 2.1.0 log on stdout")
+	list := flag.Bool("list", false, "list the analyzers with one-line docs and exit")
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source in place")
 	diff := flag.Bool("diff", false, "with -fix, print diffs instead of writing files")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: workflowlint [-json] [-fix [-diff]] packages...\n   or: go vet -vettool=$(command -v workflowlint) packages...\n\nAnalyzers:\n")
-		for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "usage: workflowlint [-json|-sarif] [-fix [-diff]] packages...\n   or: workflowlint -list\n   or: go vet -vettool=$(command -v workflowlint) packages...\n\nAnalyzers:\n")
+		for _, a := range sortedAnalyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
 	}
@@ -88,23 +96,58 @@ func main() {
 
 	if *flagsJSON {
 		// cmd/go queries the tool's flags and forwards matching command
-		// line arguments; declaring fix/diff here is what lets
-		// `go vet -vettool=... -fix` carry fixes through the vet protocol.
+		// line arguments; declaring fix/diff/sarif here is what lets
+		// `go vet -vettool=... -fix` (or -sarif) carry those modes
+		// through the vet protocol.
 		fmt.Println(`[` +
 			`{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON, one object per line"},` +
+			`{"Name":"sarif","Bool":true,"Usage":"emit diagnostics as one SARIF 2.1.0 log on stdout"},` +
 			`{"Name":"fix","Bool":true,"Usage":"apply suggested fixes to the source in place"},` +
 			`{"Name":"diff","Bool":true,"Usage":"with -fix, print diffs instead of writing files"}]`)
 		return
 	}
+	if *list {
+		for _, a := range sortedAnalyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "workflowlint: -json and -sarif are mutually exclusive")
+		os.Exit(1)
+	}
 
+	tuneGC()
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runUnitchecker(args[0], *jsonOut, *fix, *diff))
+		os.Exit(runUnitchecker(args[0], *jsonOut, *sarifOut, *fix, *diff))
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(runStandalone(args, *jsonOut, *fix, *diff))
+	os.Exit(runStandalone(args, *jsonOut, *sarifOut, *fix, *diff))
+}
+
+// tuneGC relaxes the collector for the standalone driver. A whole-repo
+// pass retains every package's AST and type information for its
+// lifetime, so at the default GOGC=100 each collection re-scans that
+// large live heap for little reclaim — roughly a third of the wall
+// time on this repository. The process is a one-shot batch job, so
+// trading peak RSS for throughput is the right default (the same
+// tuning linkers and other one-shot Go tools apply). An explicit GOGC
+// in the environment wins.
+func tuneGC() {
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(300)
+	}
+}
+
+// sortedAnalyzers returns the suite ordered by name — the order -list
+// and usage print, independent of registration order.
+func sortedAnalyzers() []*analysis.Analyzer {
+	all := append([]*analysis.Analyzer(nil), lint.Analyzers()...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
 }
 
 func firstLine(s string) string {
@@ -188,13 +231,27 @@ func sortDiagnostics(diags []diagnostic) {
 
 // report prints diagnostics and returns the exit status. JSON mode emits
 // one object per line on stdout (NDJSON, the CI-annotation contract);
-// the default renders human-readable lines on stderr. Both orders are
+// SARIF mode emits one complete 2.1.0 log on stdout (empty results
+// array included, so a clean run still uploads a valid report); the
+// default renders human-readable lines on stderr. All orders are
 // canonical (sortDiagnostics).
-func report(diags []diagnostic, jsonOut bool) int {
+func report(diags []diagnostic, jsonOut, sarifOut bool) int {
+	sortDiagnostics(diags)
+	if sarifOut {
+		data, err := sarifReport(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(data)
+		if len(diags) == 0 {
+			return 0
+		}
+		return 2
+	}
 	if len(diags) == 0 {
 		return 0
 	}
-	sortDiagnostics(diags)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
@@ -378,7 +435,7 @@ func analyzePackages(fset *token.FileSet, loaded []*loadedPkg, store *analysis.F
 	return diags, raw, nil
 }
 
-func runStandalone(patterns []string, jsonOut, fix, diff bool) int {
+func runStandalone(patterns []string, jsonOut, sarifOut, fix, diff bool) int {
 	fset, loaded, err := loadPackages(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
@@ -399,9 +456,9 @@ func runStandalone(patterns []string, jsonOut, fix, diff bool) int {
 			if changed > 0 {
 				return 2
 			}
-			return report(unfixable(diags), jsonOut)
+			return report(unfixable(diags), jsonOut, sarifOut)
 		}
 		diags = unfixable(diags)
 	}
-	return report(diags, jsonOut)
+	return report(diags, jsonOut, sarifOut)
 }

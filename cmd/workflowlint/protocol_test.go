@@ -14,10 +14,12 @@ import (
 	"testing"
 )
 
-// fixtureFiles is a minimal four-package module exercising both
-// cross-package fact chains: app -> pipeline -> {mpi, gio}. The packages
-// import nothing from the standard library so the fresh-GOCACHE vet
-// runs stay cheap.
+// fixtureFiles is a minimal four-package module exercising three
+// cross-package fact chains: app -> pipeline -> {mpi, gio} for
+// mpicollective and errflow, plus pipeline's map-iteration taint
+// (dettaint summary fact) flowing into gio's product sink from app.
+// The packages import nothing from the standard library so the
+// fresh-GOCACHE vet runs stay cheap.
 var fixtureFiles = map[string]string{
 	"go.mod": "module lintfixture\n\ngo 1.22\n",
 	"mpi/mpi.go": `// Package mpi is a no-op stand-in for the repository's rank mesh —
@@ -46,6 +48,16 @@ func WriteFile(path string, data []byte) error {
 	_ = data
 	return nil
 }
+
+// WriteInts is a dettaint product sink: exported, Write-prefixed, in a
+// package named gio.
+func WriteInts(path string, vals []int) error {
+	if path == "" {
+		return writeError{}
+	}
+	_ = vals
+	return nil
+}
 `,
 	"pipeline/pipeline.go": `package pipeline
 
@@ -61,6 +73,17 @@ func SyncAll(c *mpi.Comm) { c.Barrier() }
 // Save propagates gio.WriteFile's write error: callers inherit the
 // WriteErrorSource fact.
 func Save(path string) error { return gio.WriteFile(path, nil) }
+
+// Keys collects map keys in iteration order: the result carries
+// dettaint's map-iteration taint, exported as a summary fact that
+// callers in other packages compose at their own sink sites.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
 `,
 	"app/app.go": appClean,
 }
@@ -78,11 +101,16 @@ func Run(c *mpi.Comm) error {
 }
 `
 
-// appViolated introduces one mpicollective and one errflow violation,
-// both only detectable through facts imported from package pipeline.
+// appViolated introduces one mpicollective, one errflow, and one
+// dettaint violation, each only detectable through facts imported from
+// package pipeline: the rank-gated collective and the dropped write
+// error ride SyncAll's and Save's facts; the map-iteration taint rides
+// Keys's summary fact into gio.WriteInts's argument. WriteInts's own
+// error is returned, so no second errflow finding appears.
 const appViolated = `package app
 
 import (
+	"lintfixture/gio"
 	"lintfixture/mpi"
 	"lintfixture/pipeline"
 )
@@ -92,7 +120,8 @@ func Run(c *mpi.Comm) error {
 		pipeline.SyncAll(c)
 	}
 	pipeline.Save("out")
-	return nil
+	m := map[int]int{1: 1, 2: 2}
+	return gio.WriteInts("out", pipeline.Keys(m))
 }
 `
 
@@ -157,8 +186,8 @@ func normalizeDiags(t *testing.T, lines []string) []string {
 }
 
 // TestVetProtocolCaching drives the full unit-checker protocol against
-// a module whose leaf package violates mpicollective and errflow in
-// ways only visible through facts from its dependencies. cmd/go
+// a module whose leaf package violates mpicollective, errflow, and
+// dettaint in ways only visible through facts from its dependencies. cmd/go
 // consults the vet action cache only for VetxOnly (dependency) actions
 // — named packages always re-execute — so the test names only the leaf:
 // the first run executes all four packages and caches the three
@@ -243,6 +272,7 @@ exec %q "$@"
 	for _, want := range []string{
 		"SyncAll (reaches Barrier)",
 		"propagates write errors from gio.WriteFile",
+		"map iteration order reaches gio.WriteInts",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("vet output missing cross-package diagnostic %q:\n%s", want, out)
@@ -313,8 +343,8 @@ func TestJSONOutput(t *testing.T) {
 	}
 
 	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("want 2 JSON diagnostics, got %d:\n%s", len(lines), stdout.String())
+	if len(lines) != 3 {
+		t.Fatalf("want 3 JSON diagnostics, got %d:\n%s", len(lines), stdout.String())
 	}
 	analyzers := map[string]bool{}
 	for _, line := range lines {
@@ -335,8 +365,8 @@ func TestJSONOutput(t *testing.T) {
 		}
 		analyzers[d.Analyzer] = true
 	}
-	if !analyzers["mpicollective"] || !analyzers["errflow"] {
-		t.Errorf("want one mpicollective and one errflow diagnostic, got %v", analyzers)
+	if !analyzers["mpicollective"] || !analyzers["errflow"] || !analyzers["dettaint"] {
+		t.Errorf("want one mpicollective, one errflow, and one dettaint diagnostic, got %v", analyzers)
 	}
 }
 
@@ -592,6 +622,144 @@ func TestFixRoundTrip(t *testing.T) {
 	stdout, stderr, code = run("-fix", "-diff", "./...")
 	if code != 0 || stdout != "" {
 		t.Fatalf("-fix -diff on clean tree: exit %d, stdout %q, want 0 and empty\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestSarifOutput runs -sarif over the violated fixture: one complete
+// SARIF 2.1.0 log on stdout, exit 2, one result per diagnostic with
+// ruleIds resolving into the rule table, byte-identical across runs.
+func TestSarifOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	scratch := t.TempDir()
+	tool := buildTool(t, scratch)
+	fixture := filepath.Join(scratch, "fixture")
+	writeFixture(t, fixture)
+	if err := os.WriteFile(filepath.Join(fixture, "app", "app.go"), []byte(appViolated), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	runSarif := func() string {
+		cmd := exec.Command(tool, "-sarif", "./...")
+		cmd.Dir = fixture
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("-sarif over violated fixture: err %v, want exit 2\nstderr: %s", err, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	first := runSarif()
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(first), &log); err != nil {
+		t.Fatalf("-sarif output is not one JSON document: %v\n%s", err, first)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "workflowlint" {
+		t.Errorf("driver name %q, want workflowlint", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3 (mpicollective, errflow, dettaint):\n%s", len(run.Results), first)
+	}
+	seen := map[string]bool{}
+	for _, r := range run.Results {
+		seen[r.RuleID] = true
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Errorf("result %s has ruleIndex %d outside the rule table", r.RuleID, r.RuleIndex)
+		} else if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("result %s points at rule %s", r.RuleID, got)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %s missing a physical location", r.RuleID)
+		}
+		if filepath.Base(r.Locations[0].PhysicalLocation.ArtifactLocation.URI) != "app.go" {
+			t.Errorf("result %s located in %s, want app.go", r.RuleID, r.Locations[0].PhysicalLocation.ArtifactLocation.URI)
+		}
+	}
+	for _, want := range []string{"mpicollective", "errflow", "dettaint"} {
+		if !seen[want] {
+			t.Errorf("no %s result in SARIF output; got %v", want, seen)
+		}
+	}
+
+	if second := runSarif(); first != second {
+		t.Errorf("-sarif output differs between identical runs:\nrun 1:\n%s\nrun 2:\n%s", first, second)
+	}
+}
+
+// TestListFlag checks `workflowlint -list`: the full suite, one line
+// per analyzer with a doc string, sorted by name, exit 0.
+func TestListFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	scratch := t.TempDir()
+	tool := buildTool(t, scratch)
+
+	cmd := exec.Command(tool, "-list")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("-list: %v\nstderr: %s", err, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("-list printed %d lines, want 12 (one per analyzer):\n%s", len(lines), stdout.String())
+	}
+	var names []string
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) < 2 {
+			t.Errorf("-list line lacks a doc string: %q", l)
+			continue
+		}
+		names = append(names, fields[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list output not sorted by analyzer name: %v", names)
+	}
+	for _, want := range []string{"dettaint", "allocbound", "sharecapture", "errflow", "lockorder", "nondeterminism"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list missing analyzer %q:\n%s", want, stdout.String())
+		}
 	}
 }
 

@@ -58,7 +58,12 @@ type vetConfig struct {
 // With fix set, this unit's suggested fixes are applied to (or, with
 // diff, previewed against) the package's own source files, so
 // `go vet -vettool=workflowlint -fix` carries the fix pipeline too.
-func runUnitchecker(cfgPath string, jsonOut, fix, diff bool) int {
+//
+// SARIF under vet is per-unit: a unit with findings emits its own
+// complete log; a clean unit stays silent (unlike the standalone
+// driver's single whole-run log) so `go vet` over many packages does
+// not drown stdout in empty reports.
+func runUnitchecker(cfgPath string, jsonOut, sarifOut, fix, diff bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workflowlint: %v\n", err)
@@ -162,11 +167,18 @@ func runUnitchecker(cfgPath string, jsonOut, fix, diff bool) int {
 			if changed > 0 {
 				return 2
 			}
-			return report(unfixable(diags), jsonOut)
+			diags = unfixable(diags)
+			if sarifOut && len(diags) == 0 {
+				return 0
+			}
+			return report(diags, jsonOut, sarifOut)
 		}
 		diags = unfixable(diags)
 	}
-	return report(diags, jsonOut)
+	if sarifOut && len(diags) == 0 {
+		return 0
+	}
+	return report(diags, jsonOut, sarifOut)
 }
 
 // writeVetx lands the serialized fact store at VetxOutput. The encoding

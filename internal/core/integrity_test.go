@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func runRotToCompletion(t *testing.T, seed int64, timesteps int, dir string, cra
 	crashCount := 0
 	for gen := 0; gen <= len(crashes)+1; gen++ {
 		rep, err := ResumableCampaign(bitRotScenario(t, seed, crashes), timesteps, dir, seed)
-		if err == ErrCampaignCrashed {
+		if errors.Is(err, ErrCampaignCrashed) {
 			crashCount++
 			continue
 		}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestAllocBound(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.AllocBound,
+		"allocbound_flagged", "allocbound_clean", "allocbound_allow")
+}

@@ -1,0 +1,146 @@
+package cfg
+
+import "sort"
+
+// A DomTree holds the dominator tree and dominance frontiers of a CFG's
+// live blocks — the substrate for SSA-lite phi placement (package ssa):
+// a variable assigned in several blocks needs a phi exactly at the
+// iterated dominance frontier of its definition blocks.
+//
+// Only live blocks participate; dead blocks (unreachable code) have no
+// entries in any map.
+type DomTree struct {
+	// Idom maps each live block (except entry) to its immediate
+	// dominator.
+	Idom map[*Block]*Block
+	// Children inverts Idom, each slice sorted by block index so
+	// dominator-tree walks are deterministic.
+	Children map[*Block][]*Block
+	// Frontier maps each live block to its dominance frontier, sorted by
+	// block index.
+	Frontier map[*Block][]*Block
+}
+
+// Dominance computes the dominator tree and dominance frontiers of g's
+// live blocks with the Cooper–Harvey–Kennedy iterative algorithm over a
+// reverse postorder.
+func (g *CFG) Dominance() *DomTree {
+	entry := g.Entry()
+	rpo := g.reversePostorder()
+	rpoNum := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	idom := map[*Block]*Block{entry: entry}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if !p.Live || idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	delete(idom, entry) // entry has no immediate dominator
+
+	t := &DomTree{Idom: idom, Children: map[*Block][]*Block{}, Frontier: map[*Block][]*Block{}}
+	for b, d := range idom {
+		t.Children[d] = append(t.Children[d], b)
+	}
+	for _, kids := range t.Children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Index < kids[j].Index })
+	}
+
+	// Frontiers: a join block (>= 2 live preds) is in the frontier of
+	// every block on a pred-to-idom walk that does not dominate it.
+	inFrontier := map[*Block]map[*Block]bool{}
+	for _, b := range rpo {
+		preds := liveBlocks(b.Preds)
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			runner := p
+			for runner != nil && runner != idom[b] && runner != b {
+				set := inFrontier[runner]
+				if set == nil {
+					set = map[*Block]bool{}
+					inFrontier[runner] = set
+				}
+				if set[b] {
+					break
+				}
+				set[b] = true
+				runner = idom[runner]
+			}
+		}
+	}
+	for b, set := range inFrontier {
+		fr := make([]*Block, 0, len(set))
+		for f := range set {
+			fr = append(fr, f)
+		}
+		sort.Slice(fr, func(i, j int) bool { return fr[i].Index < fr[j].Index })
+		t.Frontier[b] = fr
+	}
+	return t
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b]
+	}
+	return false
+}
+
+// reversePostorder lists live blocks, entry first.
+func (g *CFG) reversePostorder() []*Block {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] || !b.Live {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(g.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

@@ -1,0 +1,180 @@
+package ssa_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/analysis/cfg"
+	"repro/internal/lint/analysis/ssa"
+)
+
+// fuzzSeeds is the seed corpus: the statement shapes the CFG builder
+// decomposes (labeled loops, goto, switch fallthrough, select, defer,
+// range, panic) plus value shapes the lowerer special-cases
+// (multi-assign, compound ops, closures, address-of, bare returns).
+var fuzzSeeds = []string{
+	`package p
+func f(c bool) int { x := 1; if c { x = 2 }; return x }`,
+	`package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if j == 3 {
+				continue outer
+			}
+			if j == 4 {
+				break outer
+			}
+			s += j
+		}
+	}
+	return s
+}`,
+	`package p
+func f(m map[string][]int) (out []int) {
+	for k, vs := range m {
+		_ = k
+		out = append(out, vs...)
+	}
+	return
+}`,
+	`package p
+func f(x int) string {
+	switch x {
+	case 1:
+		return "a"
+	case 2:
+		fallthrough
+	case 3:
+		return "b"
+	default:
+		panic("bad")
+	}
+}`,
+	`package p
+func f(ch chan int, done chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-done:
+			return total
+		}
+	}
+}`,
+	`package p
+func f() (err error) {
+	defer func() {
+		if err != nil {
+			err = nil
+		}
+	}()
+	goto end
+end:
+	return
+}`,
+	`package p
+func f(a, b int) (int, int) { a, b = b, a; a += b; b *= 2; return a, b }`,
+	`package p
+func f() *int { x := 0; p := &x; *p = 1; return p }`,
+	`package p
+func f(s []int) {
+	g := func(i int) int { return s[i] }
+	_ = g(0)
+}`,
+	`package p
+func f(n uint64) []byte {
+	if n > 1<<20 {
+		return nil
+	}
+	buf := make([]byte, n, n+8)
+	buf = buf[1:n]
+	return buf
+}`,
+}
+
+// FuzzLower drives the whole front half of the analysis kernel —
+// parse, CFG construction, dominance, SSA lowering — over arbitrary
+// function bodies, and requires two invariants: no panics, and
+// well-formed IR (dense IDs, symmetric def-use edges, every register
+// parked in exactly one block). Inputs that do not parse are skipped;
+// inputs that do not type-check are still lowered (the lowerer must be
+// robust to partial type information, since drivers analyze packages
+// with missing dependencies during fixture bring-up).
+func FuzzLower(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			return // keep the mutator honest; giant inputs only slow the run
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			return
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		// No importer: imports fail to resolve, exercising the
+		// partial-information paths. Type errors are expected and ignored.
+		conf := types.Config{Error: func(error) {}}
+		conf.Check("fuzz", fset, []*ast.File{file}, info) //nolint:errcheck
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var sig *types.Signature
+			name := "fuzz"
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				body = n.Body
+				name = n.Name.Name
+				if fn, ok := info.Defs[n.Name].(*types.Func); ok {
+					sig, _ = fn.Type().(*types.Signature)
+				}
+			case *ast.FuncLit:
+				body = n.Body
+				if tv, ok := info.Types[n]; ok {
+					sig, _ = tv.Type.(*types.Signature)
+				}
+			default:
+				return true
+			}
+			g := cfg.Build(body)
+			// CFG invariants: entry live, edges symmetric.
+			for _, b := range g.Blocks {
+				for _, s := range b.Succs {
+					found := false
+					for _, p := range s.Preds {
+						if p == b {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s: asymmetric edge b%d->b%d", name, b.Index, s.Index)
+					}
+				}
+			}
+			fn := ssa.Lower(name, body, g, sig, info)
+			if err := wellFormed(fn); err != nil {
+				t.Fatalf("%s: ill-formed IR: %v\nsource:\n%s", name, err, src)
+			}
+			return true
+		})
+	})
+}

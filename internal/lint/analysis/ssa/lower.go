@@ -1,0 +1,549 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// blockState lowers the atomic nodes of one cfg block, threading the
+// current SSA definition of every tracked local.
+type blockState struct {
+	lw   *lowerer
+	sb   *Block
+	defs map[types.Object]*Value
+}
+
+// lowerNode dispatches one atomic cfg node: a simple statement or the
+// controlling expression of a compound statement.
+func (st *blockState) lowerNode(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		st.lowerAssign(n)
+	case *ast.DeclStmt:
+		st.lowerDecl(n)
+	case *ast.IncDecStmt:
+		st.lowerIncDec(n)
+	case *ast.ReturnStmt:
+		st.lowerReturn(n)
+	case *ast.ExprStmt:
+		st.lowerExpr(n.X)
+	case *ast.GoStmt:
+		st.lowerExpr(n.Call)
+	case *ast.DeferStmt:
+		st.lowerExpr(n.Call)
+	case *ast.SendStmt:
+		ch := st.lowerExpr(n.Chan)
+		val := st.lowerExpr(n.Value)
+		send := st.emit(OpUnknown, n.Pos(), ch, val)
+		send.Name = "send"
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		// control only — no values
+	case ast.Stmt:
+		st.emit(OpUnknown, n.Pos())
+	case ast.Expr:
+		if rng, ok := st.lw.rangeByX[n]; ok {
+			st.lowerRange(rng)
+			return
+		}
+		st.lowerExpr(n)
+	}
+}
+
+func (st *blockState) emit(op Op, pos token.Pos, args ...*Value) *Value {
+	v := st.lw.newValue(op, pos, args...)
+	st.lw.appendInstr(st.sb, v)
+	return v
+}
+
+// define binds obj's current SSA definition, or degrades to a memory
+// store for untracked locals / package-level vars.
+func (st *blockState) define(id *ast.Ident, val *Value, pos token.Pos) {
+	if id.Name == "_" || val == nil {
+		return
+	}
+	obj := st.lw.objectOf(id)
+	if obj == nil {
+		return
+	}
+	if st.lw.trackable(obj) {
+		// Rebind through an OpCopy so the register records the variable
+		// name it now carries (witness paths read these).
+		cp := st.emit(OpCopy, pos, val)
+		cp.Name = obj.Name()
+		cp.Var = obj
+		st.defs[obj] = cp
+		return
+	}
+	store := st.emit(OpVarStore, pos, val)
+	store.Var = obj
+	store.Name = obj.Name()
+}
+
+// use returns obj's reaching definition, synthesizing a conservative
+// OpUnknown for locals without one (use-before-def only arises in dead
+// or goto-heavy code).
+func (st *blockState) use(id *ast.Ident) *Value {
+	obj := st.lw.objectOf(id)
+	if obj == nil {
+		u := st.emit(OpUnknown, id.Pos())
+		u.Name = id.Name
+		return u
+	}
+	if st.lw.trackable(obj) {
+		if def, ok := st.defs[obj]; ok {
+			return def
+		}
+		u := st.emit(OpUnknown, id.Pos())
+		u.Name = id.Name
+		u.Var = obj
+		st.defs[obj] = u
+		return u
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if st.lw.memVars[obj] || !st.lw.isLocalVar(obj) {
+			ld := st.emit(OpVarLoad, id.Pos())
+			ld.Var = v
+			ld.Name = id.Name
+			ld.Expr = id
+			return ld
+		}
+	}
+	g := st.emit(OpGlobal, id.Pos())
+	g.Var = obj
+	g.Name = id.Name
+	g.Expr = id
+	return g
+}
+
+func (st *blockState) lowerAssign(as *ast.AssignStmt) {
+	// Multi-value RHS: one call/index/assert/receive fanned out through
+	// extracts.
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		tuple := st.lowerExpr(as.Rhs[0])
+		for i, l := range as.Lhs {
+			ext := st.emit(OpExtract, as.Pos(), tuple)
+			ext.Index = i
+			st.assignTo(l, ext, as.Pos())
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		// Evaluate all RHS first (Go's tuple-assignment semantics), then
+		// bind.
+		vals := make([]*Value, len(as.Rhs))
+		for i, r := range as.Rhs {
+			vals[i] = st.lowerExpr(r)
+		}
+		for i, l := range as.Lhs {
+			val := vals[i]
+			// Compound assignment (x += y) reads the old value too.
+			if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+				old := st.lowerExpr(as.Lhs[i])
+				bin := st.emit(OpBinOp, as.Pos(), old, val)
+				bin.Tok = compoundOp(as.Tok)
+				val = bin
+			}
+			st.assignTo(l, val, as.Pos())
+		}
+	}
+}
+
+// compoundOp maps an assignment operator (+=) to its binary operator.
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return tok
+}
+
+// assignTo routes one assigned value to its destination: an SSA
+// rebinding for plain locals, an OpStore against the base register for
+// fields/indexes/derefs.
+func (st *blockState) assignTo(dst ast.Expr, val *Value, pos token.Pos) {
+	if val == nil {
+		return
+	}
+	switch dst := ast.Unparen(dst).(type) {
+	case *ast.Ident:
+		st.define(dst, val, pos)
+	case *ast.IndexExpr:
+		base := st.lowerExpr(dst.X)
+		idx := st.lowerExpr(dst.Index)
+		store := st.emit(OpStore, pos, base, val, idx)
+		store.Expr = dst
+		if id, ok := ast.Unparen(dst.X).(*ast.Ident); ok {
+			store.Var = st.lw.objectOf(id)
+		}
+	case *ast.SelectorExpr:
+		base := st.lowerExpr(dst.X)
+		store := st.emit(OpStore, pos, base, val)
+		store.Name = dst.Sel.Name
+		store.Expr = dst
+		if id, ok := ast.Unparen(dst.X).(*ast.Ident); ok {
+			store.Var = st.lw.objectOf(id)
+		}
+	case *ast.StarExpr:
+		base := st.lowerExpr(dst.X)
+		store := st.emit(OpStore, pos, base, val)
+		store.Expr = dst
+	default:
+		st.emit(OpUnknown, pos, val)
+	}
+}
+
+func (st *blockState) lowerDecl(ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			tuple := st.lowerExpr(vs.Values[0])
+			for i, id := range vs.Names {
+				ext := st.emit(OpExtract, id.Pos(), tuple)
+				ext.Index = i
+				st.define(id, ext, id.Pos())
+			}
+			continue
+		}
+		for i, id := range vs.Names {
+			var val *Value
+			if i < len(vs.Values) {
+				val = st.lowerExpr(vs.Values[i])
+			} else {
+				val = st.emit(OpConst, id.Pos()) // zero value
+			}
+			st.define(id, val, id.Pos())
+		}
+	}
+}
+
+func (st *blockState) lowerIncDec(n *ast.IncDecStmt) {
+	old := st.lowerExpr(n.X)
+	one := st.emit(OpConst, n.Pos())
+	bin := st.emit(OpBinOp, n.Pos(), old, one)
+	if n.Tok == token.INC {
+		bin.Tok = token.ADD
+	} else {
+		bin.Tok = token.SUB
+	}
+	st.assignTo(n.X, bin, n.Pos())
+}
+
+func (st *blockState) lowerReturn(n *ast.ReturnStmt) {
+	ret := st.emit(OpReturn, n.Pos())
+	if len(n.Results) == 0 {
+		// Bare return in a named-result function returns the current
+		// definitions of the result variables.
+		for _, obj := range st.lw.resultVars {
+			if obj == nil {
+				ret.addArg(st.emit(OpConst, n.Pos()))
+				continue
+			}
+			if st.lw.trackable(obj) {
+				if def, ok := st.defs[obj]; ok {
+					ret.addArg(def)
+					continue
+				}
+			}
+			if st.lw.memVars[obj] {
+				ld := st.emit(OpVarLoad, n.Pos())
+				ld.Var = obj
+				ld.Name = obj.Name()
+				ret.addArg(ld)
+				continue
+			}
+			ret.addArg(st.emit(OpConst, n.Pos()))
+		}
+		return
+	}
+	if len(n.Results) == 1 && st.lw.fn.NumResults > 1 {
+		// return f(): fan the tuple out so result indices line up.
+		tuple := st.lowerExpr(n.Results[0])
+		for i := 0; i < st.lw.fn.NumResults; i++ {
+			ext := st.emit(OpExtract, n.Pos(), tuple)
+			ext.Index = i
+			ret.addArg(ext)
+		}
+		return
+	}
+	for _, r := range n.Results {
+		ret.addArg(st.lowerExpr(r))
+	}
+}
+
+func (st *blockState) lowerRange(rng *ast.RangeStmt) {
+	x := st.lowerExpr(rng.X)
+	r := st.emit(OpRange, rng.Pos(), x)
+	r.Expr = rng.X
+	bind := func(e ast.Expr, idx int) {
+		if e == nil {
+			return
+		}
+		ext := st.emit(OpExtract, rng.Pos(), r)
+		ext.Index = idx
+		ext.Expr = rng.X
+		st.assignTo(e, ext, rng.Pos())
+	}
+	bind(rng.Key, 0)
+	bind(rng.Value, 1)
+}
+
+// lowerExpr lowers one expression to a register. It never returns nil.
+func (st *blockState) lowerExpr(e ast.Expr) *Value {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		return st.use(e)
+
+	case *ast.BasicLit:
+		c := st.emit(OpConst, e.Pos())
+		c.Expr = e
+		return c
+
+	case *ast.CallExpr:
+		return st.lowerCall(e)
+
+	case *ast.SelectorExpr:
+		return st.lowerSelector(e)
+
+	case *ast.IndexExpr:
+		// Generic instantiation parses as IndexExpr; a function-typed
+		// result means this is not an element load.
+		if tv, ok := st.lw.info.Types[e]; ok {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return st.lowerExpr(e.X)
+			}
+		}
+		base := st.lowerExpr(e.X)
+		idx := st.lowerExpr(e.Index)
+		v := st.emit(OpIndex, e.Pos(), base, idx)
+		v.Expr = e
+		return v
+
+	case *ast.IndexListExpr:
+		return st.lowerExpr(e.X)
+
+	case *ast.SliceExpr:
+		args := []*Value{st.lowerExpr(e.X)}
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				args = append(args, st.lowerExpr(idx))
+			}
+		}
+		v := st.emit(OpSlice, e.Pos(), args...)
+		v.Expr = e
+		return v
+
+	case *ast.StarExpr:
+		v := st.emit(OpDeref, e.Pos(), st.lowerExpr(e.X))
+		v.Expr = e
+		return v
+
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			v := st.emit(OpAddr, e.Pos(), st.lowerExpr(e.X))
+			v.Expr = e
+			return v
+		default:
+			v := st.emit(OpUnOp, e.Pos(), st.lowerExpr(e.X))
+			v.Tok = e.Op
+			v.Expr = e
+			return v
+		}
+
+	case *ast.BinaryExpr:
+		x := st.lowerExpr(e.X)
+		y := st.lowerExpr(e.Y)
+		v := st.emit(OpBinOp, e.Pos(), x, y)
+		v.Tok = e.Op
+		v.Expr = e
+		return v
+
+	case *ast.CompositeLit:
+		var args []*Value
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				// Map keys are values too; struct field names are not.
+				if _, isIdent := kv.Key.(*ast.Ident); !isIdent {
+					args = append(args, st.lowerExpr(kv.Key))
+				} else if tv, ok := st.lw.info.Types[e]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						args = append(args, st.lowerExpr(kv.Key))
+					}
+				}
+				args = append(args, st.lowerExpr(kv.Value))
+				continue
+			}
+			args = append(args, st.lowerExpr(elt))
+		}
+		v := st.emit(OpComposite, e.Pos(), args...)
+		v.Expr = e
+		return v
+
+	case *ast.FuncLit:
+		v := st.emit(OpClosure, e.Pos())
+		v.Expr = e
+		return v
+
+	case *ast.TypeAssertExpr:
+		v := st.emit(OpConvert, e.Pos(), st.lowerExpr(e.X))
+		v.Expr = e
+		return v
+
+	default:
+		// Types in expression position, ellipses, channel types, ...
+		v := st.emit(OpConst, e.Pos())
+		if ex, ok := e.(ast.Expr); ok {
+			v.Expr = ex
+		}
+		return v
+	}
+}
+
+// lowerSelector distinguishes field loads, qualified identifiers, and
+// method values.
+func (st *blockState) lowerSelector(e *ast.SelectorExpr) *Value {
+	if sel, ok := st.lw.info.Selections[e]; ok {
+		base := st.lowerExpr(e.X)
+		switch sel.Kind() {
+		case types.FieldVal:
+			v := st.emit(OpField, e.Pos(), base)
+			v.Name = e.Sel.Name
+			v.Expr = e
+			return v
+		default: // method value/expr
+			v := st.emit(OpUnknown, e.Pos(), base)
+			v.Name = e.Sel.Name
+			v.Expr = e
+			return v
+		}
+	}
+	// Qualified identifier: pkg.Name.
+	obj := st.lw.objectOf(e.Sel)
+	v := st.emit(OpGlobal, e.Pos())
+	v.Var = obj
+	v.Name = e.Sel.Name
+	v.Expr = e
+	return v
+}
+
+func (st *blockState) lowerCall(call *ast.CallExpr) *Value {
+	info := st.lw.info
+
+	// Conversion: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		v := st.emit(OpConvert, call.Pos(), st.lowerExpr(call.Args[0]))
+		v.Expr = call
+		return v
+	}
+
+	// Builtins with special value-flow shapes.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				var sizes []*Value
+				for _, a := range call.Args[1:] { // Args[0] is the type
+					sizes = append(sizes, st.lowerExpr(a))
+				}
+				v := st.emit(OpMake, call.Pos(), sizes...)
+				v.Expr = call
+				return v
+			case "len", "cap":
+				var arg *Value
+				if len(call.Args) == 1 {
+					arg = st.lowerExpr(call.Args[0])
+				}
+				v := st.emit(OpLen, call.Pos(), arg)
+				v.Name = id.Name
+				v.Expr = call
+				return v
+			case "append":
+				var args []*Value
+				for _, a := range call.Args {
+					args = append(args, st.lowerExpr(a))
+				}
+				v := st.emit(OpAppend, call.Pos(), args...)
+				v.Expr = call
+				return v
+			case "new":
+				v := st.emit(OpComposite, call.Pos())
+				v.Expr = call
+				return v
+			default:
+				var args []*Value
+				for _, a := range call.Args {
+					args = append(args, st.lowerExpr(a))
+				}
+				v := st.emit(OpCall, call.Pos(), args...)
+				v.Name = id.Name
+				v.Expr = call
+				return v
+			}
+		}
+	}
+
+	// Resolve a static callee (function or method).
+	var callee *types.Func
+	var recv *Value
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = info.Uses[fun.Sel].(*types.Func)
+		if callee != nil {
+			if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				recv = st.lowerExpr(fun.X)
+			}
+		}
+	}
+
+	var args []*Value
+	recvArg := false
+	if callee == nil {
+		// Indirect call: the function value participates as Args[0].
+		args = append(args, st.lowerExpr(call.Fun))
+	} else if recv != nil {
+		args = append(args, recv)
+		recvArg = true
+	}
+	for _, a := range call.Args {
+		args = append(args, st.lowerExpr(a))
+	}
+	v := st.emit(OpCall, call.Pos(), args...)
+	v.Callee = callee
+	v.RecvArg = recvArg
+	v.Expr = call
+	if callee != nil {
+		v.Name = callee.Name()
+	}
+	return v
+}

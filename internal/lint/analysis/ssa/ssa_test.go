@@ -1,0 +1,399 @@
+package ssa_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis/cfg"
+	"repro/internal/lint/analysis/ssa"
+)
+
+// lowerAll parses src (one file), type-checks it leniently, and lowers
+// every function body, returning the Funcs keyed by name.
+func lowerAll(t *testing.T, src string) map[string]*ssa.Func {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil), Error: func(error) {}}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	_ = pkg
+
+	out := map[string]*ssa.Func{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := cfg.Build(fd.Body)
+		var sig *types.Signature
+		if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+			sig = fn.Type().(*types.Signature)
+		}
+		fn := ssa.Lower(fd.Name.Name, fd.Body, g, sig, info)
+		if err := wellFormed(fn); err != nil {
+			t.Fatalf("%s: ill-formed IR: %v\n%s", fd.Name.Name, err, fn)
+		}
+		out[fd.Name.Name] = fn
+	}
+	return out
+}
+
+// wellFormed checks the IR invariants the fuzz target also enforces:
+// dense IDs, every value parked in exactly one place, def-use edges
+// symmetric, phis only at blocks with multiple live predecessors.
+func wellFormed(f *ssa.Func) error {
+	seen := map[*ssa.Value]string{}
+	park := func(v *ssa.Value, where string) error {
+		if prev, dup := seen[v]; dup {
+			return fmt.Errorf("v%d parked twice: %s and %s", v.ID, prev, where)
+		}
+		seen[v] = where
+		return nil
+	}
+	for _, p := range f.Params {
+		if err := park(p, "params"); err != nil {
+			return err
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Phis {
+			if v.Op != ssa.OpPhi {
+				return fmt.Errorf("non-phi v%d in phi list", v.ID)
+			}
+			if err := park(v, "phis"); err != nil {
+				return err
+			}
+			if v.Block != b {
+				return fmt.Errorf("phi v%d block mismatch", v.ID)
+			}
+		}
+		for _, v := range b.Instrs {
+			if err := park(v, "instrs"); err != nil {
+				return err
+			}
+			if v.Block != b {
+				return fmt.Errorf("instr v%d block mismatch", v.ID)
+			}
+		}
+	}
+	for i, v := range f.Values {
+		if v.ID != i {
+			return fmt.Errorf("value %d has ID %d", i, v.ID)
+		}
+		if _, ok := seen[v]; !ok {
+			return fmt.Errorf("v%d (%s) not parked in any block", v.ID, v.Op)
+		}
+		for _, a := range v.Args {
+			if a == nil {
+				return fmt.Errorf("v%d has nil arg", v.ID)
+			}
+			found := false
+			for _, u := range a.Uses {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("def-use asymmetry: v%d uses v%d but is not in its Uses", v.ID, a.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func TestPhiPlacementAtJoin(t *testing.T) {
+	fns := lowerAll(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`)
+	f := fns["f"]
+	var phis []*ssa.Value
+	for _, b := range f.Blocks {
+		phis = append(phis, b.Phis...)
+	}
+	if len(phis) != 1 {
+		t.Fatalf("want exactly 1 phi (for x at the if-join), got %d\n%s", len(phis), f)
+	}
+	phi := phis[0]
+	if phi.Name != "x" {
+		t.Errorf("phi is for %q, want x", phi.Name)
+	}
+	if len(phi.Args) != 2 {
+		t.Errorf("phi has %d operands, want 2 (one per arm)\n%s", len(phi.Args), f)
+	}
+	// The return must consume the phi, not either arm's def.
+	var ret *ssa.Value
+	for _, v := range f.Values {
+		if v.Op == ssa.OpReturn {
+			ret = v
+		}
+	}
+	if ret == nil || len(ret.Args) != 1 {
+		t.Fatalf("missing return\n%s", f)
+	}
+	if ret.Args[0].Op != ssa.OpPhi {
+		t.Errorf("return consumes %s, want the phi\n%s", ret.Args[0].Op, f)
+	}
+}
+
+func TestLoopPhi(t *testing.T) {
+	fns := lowerAll(t, `package p
+func sum(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	f := fns["sum"]
+	phiVars := map[string]int{}
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis {
+			phiVars[phi.Name]++
+		}
+	}
+	// Both s and i are assigned in multiple blocks; each needs a phi at
+	// the loop head.
+	if phiVars["s"] == 0 || phiVars["i"] == 0 {
+		t.Errorf("want phis for s and i at the loop head, got %v\n%s", phiVars, f)
+	}
+}
+
+func TestAddressTakenDegradesToMemory(t *testing.T) {
+	fns := lowerAll(t, `package p
+func g(p *int) {}
+func f() int {
+	x := 1
+	g(&x)
+	return x
+}`)
+	f := fns["f"]
+	hasVarLoad := false
+	for _, v := range f.Values {
+		if v.Op == ssa.OpPhi && v.Name == "x" {
+			t.Errorf("address-taken x must not get SSA phis")
+		}
+		if v.Op == ssa.OpVarLoad && v.Name == "x" {
+			hasVarLoad = true
+		}
+	}
+	if !hasVarLoad {
+		t.Errorf("address-taken x must be read through OpVarLoad\n%s", f)
+	}
+}
+
+func TestCallLoweringResolvesStaticCallee(t *testing.T) {
+	fns := lowerAll(t, `package p
+import "strconv"
+func f(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	return n, err
+}`)
+	f := fns["f"]
+	var call *ssa.Value
+	extracts := 0
+	for _, v := range f.Values {
+		switch v.Op {
+		case ssa.OpCall:
+			call = v
+		case ssa.OpExtract:
+			extracts++
+		}
+	}
+	if call == nil || call.Callee == nil || call.Callee.Name() != "Atoi" {
+		t.Fatalf("Atoi call not resolved\n%s", f)
+	}
+	if extracts != 2 {
+		t.Errorf("want 2 extracts for (n, err), got %d\n%s", extracts, f)
+	}
+	if len(call.Args) != 1 || call.Args[0].Op != ssa.OpParam {
+		t.Errorf("Atoi should consume the parameter register\n%s", f)
+	}
+}
+
+func TestRangeOverMapExtracts(t *testing.T) {
+	fns := lowerAll(t, `package p
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`)
+	f := fns["keys"]
+	var rng *ssa.Value
+	for _, v := range f.Values {
+		if v.Op == ssa.OpRange {
+			rng = v
+		}
+	}
+	if rng == nil {
+		t.Fatalf("no OpRange\n%s", f)
+	}
+	// The key extract must feed (through the copy that names k) the
+	// append.
+	foundAppend := false
+	var walk func(v *ssa.Value, depth int) bool
+	walk = func(v *ssa.Value, depth int) bool {
+		if depth > 6 {
+			return false
+		}
+		for _, u := range v.Uses {
+			if u.Op == ssa.OpAppend {
+				return true
+			}
+			if walk(u, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, u := range rng.Uses {
+		if u.Op == ssa.OpExtract && walk(u, 0) {
+			foundAppend = true
+		}
+	}
+	if !foundAppend {
+		t.Errorf("range key does not reach the append via def-use\n%s", f)
+	}
+}
+
+func TestNamedResultBareReturn(t *testing.T) {
+	fns := lowerAll(t, `package p
+func f(c bool) (err error) {
+	if c {
+		return
+	}
+	return nil
+}`)
+	f := fns["f"]
+	for _, v := range f.Values {
+		if v.Op == ssa.OpReturn && len(v.Args) != 1 {
+			t.Errorf("return carries %d args, want 1 (named result err)\n%s", len(v.Args), f)
+		}
+	}
+}
+
+func TestMakeAndLenOps(t *testing.T) {
+	fns := lowerAll(t, `package p
+func f(n int, s []byte) []byte {
+	b := make([]byte, n, n*2)
+	_ = len(s)
+	return b
+}`)
+	f := fns["f"]
+	var mk, ln *ssa.Value
+	for _, v := range f.Values {
+		switch v.Op {
+		case ssa.OpMake:
+			mk = v
+		case ssa.OpLen:
+			ln = v
+		}
+	}
+	if mk == nil || len(mk.Args) != 2 {
+		t.Fatalf("make not lowered with 2 size args\n%s", f)
+	}
+	if ln == nil || ln.Name != "len" {
+		t.Errorf("len not lowered to OpLen\n%s", f)
+	}
+}
+
+func TestDominanceTree(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", `package p
+func f(c bool) {
+	if c {
+		println(1)
+	} else {
+		println(2)
+	}
+	println(3)
+	for c {
+		println(4)
+	}
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	g := cfg.Build(body)
+	dom := g.Dominance()
+
+	entry := g.Entry()
+	if _, hasIdom := dom.Idom[entry]; hasIdom {
+		t.Errorf("entry must have no immediate dominator")
+	}
+	for _, b := range g.Blocks {
+		if !b.Live || b == entry {
+			continue
+		}
+		id, ok := dom.Idom[b]
+		if !ok {
+			t.Errorf("live block %d has no idom", b.Index)
+			continue
+		}
+		if !dom.Dominates(id, b) {
+			t.Errorf("idom(%d)=%d does not dominate it", b.Index, id.Index)
+		}
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry does not dominate live block %d", b.Index)
+		}
+	}
+	// The if-join (two live preds) must be in the frontier of both arms.
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		livePreds := 0
+		for _, p := range b.Preds {
+			if p.Live {
+				livePreds++
+			}
+		}
+		if livePreds < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if !p.Live || dom.Dominates(p, b) && p != b {
+				continue
+			}
+			found := false
+			for _, fr := range dom.Frontier[p] {
+				if fr == b {
+					found = true
+				}
+			}
+			if !found && !strings.Contains(b.Comment, "loop") {
+				t.Errorf("join block %d missing from frontier of pred %d", b.Index, p.Index)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysis/ssa"
+	"repro/internal/lint/analysis/taint"
+)
+
+// DetTaint is the interprocedural complement to the syntactic
+// Nondeterminism analyzer: instead of flagging every nondeterministic
+// construct inside the deterministic kernel, it tracks the *values*
+// those constructs produce — time.Now results, global math/rand draws,
+// map-iteration keys and values, goroutine/process identity — along
+// SSA-lite def-use chains and across function boundaries via taint
+// summaries, and reports only when such a value reaches a product
+// write: an exported Write*/Commit*/Append*/Save*/Put*/Merge* call in
+// the gio, catalog, ckpt, or fs packages (matched by package name so
+// fixtures participate).
+//
+// The paper's premise is that in-situ reductions replace raw dumps as
+// the analysis record; a product whose bytes depend on wall-clock time,
+// RNG state, or map order cannot be byte-compared across the re-run
+// that gray-failure degradation (PR 6) or re-derivation repair (PR 7)
+// triggers. Every diagnostic carries a witness path — the variable and
+// call hops the value took — so the fix site is visible without
+// re-tracing by hand.
+//
+// Seeded *rand.Rand draws are deterministic and do not taint; sorting
+// (sort.*/slices.Sort*) canonicalizes map-derived data and kills the
+// taint; time.Since produces durations for telemetry, not products,
+// and is treated as clean. Test files get findings suppressed (tests
+// write scratch), but their summaries still feed the fixpoint.
+var DetTaint = &analysis.Analyzer{
+	Name:      "dettaint",
+	Doc:       "track nondeterministic values (time, rand, map order) interprocedurally into product writes",
+	Run:       runDetTaint,
+	Requires:  []*analysis.Analyzer{SSAFlow},
+	FactTypes: []analysis.Fact{(*DetTaintSummary)(nil)},
+}
+
+// DetTaintSummary carries one function's taint summary across package
+// boundaries.
+type DetTaintSummary struct {
+	S taint.Summary
+}
+
+func (*DetTaintSummary) AFact() {}
+
+func init() { analysis.RegisterFactType(&DetTaintSummary{}) }
+
+// detSinkPkgs are the product-writing packages, matched by name.
+var detSinkPkgs = map[string]bool{
+	"gio": true, "catalog": true, "ckpt": true, "fs": true,
+}
+
+// detSinkPrefixes name the write entry points within those packages.
+var detSinkPrefixes = []string{"Write", "Commit", "Append", "Save", "Put", "Merge"}
+
+func hasAnyPrefix(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// detSource classifies a register as a nondeterminism source.
+func detSource(info *types.Info) func(v *ssa.Value) (string, bool) {
+	return func(v *ssa.Value) (string, bool) {
+		switch v.Op {
+		case ssa.OpCall:
+			fn := v.Callee
+			if fn == nil {
+				return "", false
+			}
+			if isPkgFunc(fn, "time", "Now") {
+				return "time.Now", true
+			}
+			if isPkgFunc(fn, "runtime", "NumGoroutine") {
+				return "runtime.NumGoroutine", true
+			}
+			if isPkgFunc(fn, "os", "Getpid") {
+				return "os.Getpid", true
+			}
+			// Package-level math/rand draws read the shared global
+			// source; methods on a seeded *rand.Rand are reproducible.
+			if fn.Pkg() != nil && (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") {
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() == nil && fn.Exported() && !strings.HasPrefix(fn.Name(), "New") {
+					return "math/rand." + fn.Name(), true
+				}
+			}
+		case ssa.OpRange:
+			if v.Expr == nil {
+				return "", false
+			}
+			if tv, ok := info.Types[v.Expr]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return "map iteration order", true
+				}
+			}
+		}
+		return "", false
+	}
+}
+
+// detSinks lists the product-write operands of one instruction.
+func detSinks(v *ssa.Value) []taint.SinkUse {
+	if v.Op != ssa.OpCall || v.Callee == nil {
+		return nil
+	}
+	fn := v.Callee
+	if fn.Pkg() == nil || !detSinkPkgs[fn.Pkg().Name()] || !fn.Exported() {
+		return nil
+	}
+	if !hasAnyPrefix(fn.Name(), detSinkPrefixes) {
+		return nil
+	}
+	var uses []taint.SinkUse
+	for i, a := range v.Args {
+		if v.RecvArg && i == 0 {
+			continue // the receiver is the writer, not the written value
+		}
+		argNo := i + 1
+		if v.RecvArg {
+			argNo = i
+		}
+		uses = append(uses, taint.SinkUse{
+			Arg:  a,
+			Sink: fmt.Sprintf("%s.%s (arg %d)", fn.Pkg().Name(), fn.Name(), argNo),
+		})
+	}
+	return uses
+}
+
+// detSanitizer: calls whose results are clean regardless of arguments.
+func detSanitizer(v *ssa.Value) bool {
+	return v.Op == ssa.OpCall && v.Callee != nil && isPkgFunc(v.Callee, "time", "Since")
+}
+
+// detInPlace: sorting canonicalizes an order-tainted collection.
+func detInPlace(v *ssa.Value) bool {
+	if v.Op != ssa.OpCall || v.Callee == nil || v.Callee.Pkg() == nil {
+		return false
+	}
+	switch v.Callee.Pkg().Path() {
+	case "sort":
+		switch v.Callee.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(v.Callee.Name(), "Sort")
+	}
+	return false
+}
+
+func runDetTaint(pass *analysis.Pass) (any, error) {
+	res := pass.ResultOf[SSAFlow].(*SSAResult)
+	engine := &taint.Engine{
+		Spec: taint.Spec{
+			Source:           detSource(pass.TypesInfo),
+			Sinks:            detSinks,
+			Sanitizer:        detSanitizer,
+			InPlaceSanitizer: detInPlace,
+		},
+		External: func(fn *types.Func) (*taint.Summary, bool) {
+			var fact DetTaintSummary
+			if pass.ImportObjectFact(fn, &fact) {
+				return &fact.S, true
+			}
+			return nil, false
+		},
+	}
+
+	fns := make([]taint.FuncInfo, 0, len(res.Order))
+	for _, sf := range res.Order {
+		fns = append(fns, taint.FuncInfo{Fn: sf.FC.Fn, SSA: sf.F})
+	}
+	result := engine.AnalyzePackage(fns)
+
+	for fn, sum := range result.Summaries {
+		if fn.Pkg() == pass.Pkg && !sum.Empty() {
+			pass.ExportObjectFact(fn, &DetTaintSummary{S: *sum})
+		}
+	}
+
+	r := newReporter(pass)
+	for _, f := range result.Findings {
+		pos := token.Pos(f.Pos)
+		if isTestFile(pass.Fset, pos) {
+			continue
+		}
+		r.reportf(pos,
+			"nondeterministic value from %s reaches %s (witness: %s); the product cannot be byte-compared across re-runs — derive it deterministically or canonicalize (sort) before writing",
+			f.Source, f.Sink, strings.Join(f.Path, " → "))
+	}
+	return nil, nil
+}

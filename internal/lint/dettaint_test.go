@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestDetTaint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.DetTaint,
+		"dettaint_flagged", "dettaint_clean", "dettaint_allow", "dettaint_xpkg")
+}

@@ -50,6 +50,9 @@ func Analyzers() []*analysis.Analyzer {
 		GoroutineLeak,
 		ErrFlow,
 		LockOrder,
+		DetTaint,
+		AllocBound,
+		ShareCapture,
 	}
 }
 

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestShareCapture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.ShareCapture,
+		"sharecapture_flagged", "sharecapture_clean", "sharecapture_allow")
+}

@@ -1,0 +1,33 @@
+// Clean fixtures for allocbound: bound-checked, clamped, map-keyed, or
+// constant sizes.
+package parse
+
+import "encoding/binary"
+
+const maxRecord = 1 << 20
+
+// An explicit comparison validates the decoded value.
+func allocChecked(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxRecord {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// The min builtin clamps the decoded value.
+func allocClamped(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, min(int(n), 4096))
+}
+
+// Map indexing with a decoded key cannot panic or over-allocate.
+func mapKey(b []byte, m map[uint32]string) string {
+	k := binary.LittleEndian.Uint32(b)
+	return m[k]
+}
+
+// Constant sizes are trivially bounded.
+func fixed() []byte {
+	return make([]byte, 128)
+}

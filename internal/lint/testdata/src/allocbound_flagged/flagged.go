@@ -1,0 +1,33 @@
+// Flagged fixtures for allocbound: decoded lengths reaching make
+// sizes, index expressions, and slice bounds with no bound check.
+package parse
+
+import (
+	"encoding/binary"
+	"strconv"
+)
+
+func alloc(b []byte) []byte {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]byte, n) // want `length decoded by binary\.Uint32 reaches make size unvalidated`
+}
+
+func pick(raw string, s []string) string {
+	i, _ := strconv.Atoi(raw)
+	return s[i] // want `length decoded by strconv\.Atoi reaches index expression unvalidated`
+}
+
+func window(b []byte) []byte {
+	off, _ := binary.Uvarint(b)
+	return b[:off] // want `length decoded by binary\.Uvarint reaches slice bound unvalidated`
+}
+
+// Decode here, allocate there: the flow is summary-mediated.
+func header(b []byte) int {
+	n := binary.LittleEndian.Uint32(b)
+	return int(n)
+}
+
+func allocHeader(b []byte) []byte {
+	return make([]byte, header(b)) // want `length decoded by binary\.Uint32 reaches make size unvalidated`
+}

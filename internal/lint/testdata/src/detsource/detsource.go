@@ -1,0 +1,18 @@
+// Package detsource is a dependency fixture for dettaint: its taint
+// summaries (Stamp's result carries time.Now) must cross the package
+// boundary as facts for dettaint_xpkg's findings to exist.
+package detsource
+
+import "time"
+
+// Stamp returns a wall-clock string; the exported summary records
+// "result 0 ← time.Now".
+func Stamp() string {
+	return time.Now().String()
+}
+
+// Echo passes its argument through; the summary records param 0 →
+// result 0.
+func Echo(s string) string {
+	return s
+}

@@ -1,0 +1,13 @@
+// Suppression fixture for dettaint.
+package pipeline
+
+import (
+	"time"
+
+	"giostub"
+)
+
+func debugDump() {
+	//lint:allow dettaint timestamped debug artifact; excluded from byte-compare
+	_ = gio.WriteFile("debug", []byte(time.Now().String()))
+}

@@ -1,0 +1,40 @@
+// Clean fixtures for dettaint: canonicalized, seeded, or sanitized
+// values may reach product writes.
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"giostub"
+)
+
+// Sorting canonicalizes map-derived order before the write.
+func writeSortedKeys(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	_ = gio.WriteFile("keys", []byte(keys[0]))
+}
+
+// A seeded *rand.Rand is reproducible: method draws are not sources.
+// The seed parameter's flow is summarized, not reported.
+func writeSeeded(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	v := r.Intn(100)
+	_ = gio.WriteFile("v", []byte{byte(v)})
+}
+
+// time.Since produces telemetry durations and is treated as clean.
+func writeElapsed(start time.Time) {
+	d := time.Since(start)
+	_ = gio.WriteFile("elapsed", []byte(d.String()))
+}
+
+// Constant data is trivially deterministic.
+func writeHeader() {
+	_ = gio.WriteFile("header", []byte("v1"))
+}

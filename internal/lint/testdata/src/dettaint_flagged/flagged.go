@@ -1,0 +1,36 @@
+// Flagged fixtures for dettaint: nondeterministic values reaching
+// product writes through copies, conversions, and helper calls.
+package pipeline
+
+import (
+	"math/rand"
+	"time"
+
+	"giostub"
+)
+
+// stamp carries time.Now taint to its result; the summary makes the
+// caller's write site the finding.
+func stamp() string {
+	t := time.Now()
+	return t.String()
+}
+
+func writeStamp() {
+	s := stamp()
+	_ = gio.WriteFile("out", []byte(s)) // want `nondeterministic value from time\.Now reaches gio\.WriteFile \(arg 2\)`
+}
+
+func writeKeys(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	_ = gio.WriteFile("keys", []byte(keys[0])) // want `nondeterministic value from map iteration order reaches gio\.WriteFile \(arg 2\)`
+}
+
+func writeSample() {
+	v := rand.Int()
+	buf := []byte{byte(v)}
+	_ = gio.WriteFile("sample", buf) // want `nondeterministic value from math/rand\.Int reaches gio\.WriteFile \(arg 2\)`
+}

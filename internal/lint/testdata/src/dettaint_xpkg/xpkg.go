@@ -1,0 +1,25 @@
+// Cross-package fixture for dettaint: the source lives in the
+// detsource fixture package, so these findings exist only if the taint
+// summary crossed the package boundary as a fact.
+package pipeline
+
+import (
+	"detsource"
+
+	"giostub"
+)
+
+func writeCross() {
+	_ = gio.WriteFile("stamp", []byte(detsource.Stamp())) // want `nondeterministic value from time\.Now reaches gio\.WriteFile \(arg 2\)`
+}
+
+// A pass-through summary chains: Echo(Stamp()) keeps the taint alive.
+func writeChained() {
+	s := detsource.Echo(detsource.Stamp())
+	_ = gio.WriteFile("stamp2", []byte(s)) // want `nondeterministic value from time\.Now reaches gio\.WriteFile \(arg 2\)`
+}
+
+// Clean data through the same pass-through stays clean.
+func writeEcho() {
+	_ = gio.WriteFile("echo", []byte(detsource.Echo("const")))
+}

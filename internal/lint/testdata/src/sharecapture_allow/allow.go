@@ -1,0 +1,19 @@
+// Suppression fixture for sharecapture.
+package workers
+
+import "sync"
+
+func tally(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		//lint:allow sharecapture GOMAXPROCS is pinned to 1 in this harness; writes serialize
+		go func() {
+			defer wg.Done()
+			total += it
+		}()
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,81 @@
+// Clean fixtures for sharecapture: per-iteration slots, internal
+// synchronization, channels, and proper joins.
+package workers
+
+import "sync"
+
+// The idiomatic parallel fill: each goroutine writes its own slot,
+// indexed by the per-iteration loop variable (go 1.22 semantics).
+func fill(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Same shape with the slot index fed through a closure parameter.
+func fillParam(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			out[j] = j
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// A mutex inside the closure guards the shared write.
+func guarded(items []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Results flow over a channel: no captured write at all.
+func viaChannel(items []int) int {
+	ch := make(chan int)
+	for _, it := range items {
+		go func() {
+			ch <- it * it
+		}()
+	}
+	total := 0
+	for range items {
+		total += <-ch
+	}
+	return total
+}
+
+// A channel receive joins before the post-spawn read.
+func joined() []int {
+	var res []int
+	done := make(chan struct{})
+	go func() {
+		res = append(res, 1)
+		close(done)
+	}()
+	<-done
+	return res
+}

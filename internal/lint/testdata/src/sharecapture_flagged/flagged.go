@@ -1,0 +1,44 @@
+// Flagged fixtures for sharecapture: loop-spawned goroutines writing
+// shared state, and post-spawn reads with no join.
+package workers
+
+import "sync"
+
+// Every iteration's goroutine writes the same accumulator.
+func sumRace(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() { // want `goroutine launched in a loop writes captured "total" declared outside the loop`
+			defer wg.Done()
+			total += it
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Map writes race regardless of key distinctness.
+func collect(keys []string) map[string]bool {
+	out := map[string]bool{}
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func() { // want `goroutine launched in a loop writes captured "out" declared outside the loop`
+			defer wg.Done()
+			out[k] = true
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// The return races with the goroutine's append: no join in between.
+func unjoined() []int {
+	var res []int
+	go func() {
+		res = append(res, 1)
+	}()
+	return res // want `"res" is accessed here while a goroutine launched at line \d+ writes it`
+}
