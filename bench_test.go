@@ -31,6 +31,7 @@ import (
 	"repro/internal/kdtree"
 	"repro/internal/mpi"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/powerspec"
 	"repro/internal/sched"
@@ -792,6 +793,50 @@ func BenchmarkScrubbedCampaign(b *testing.B) {
 		// Fault-free: every scrub verification must pass and repair nothing.
 		if rep.Integrity.Corruptions != 0 || rep.Integrity.Verified == 0 {
 			b.Fatalf("fault-free scrubbed campaign misbehaved: %+v", rep.Integrity)
+		}
+	})
+}
+
+// BenchmarkObservedCampaign measures the overhead of the deterministic
+// observability layer on a fault-free campaign. "noop" is the nil-Observer
+// path (every instrumentation site short-circuits before allocating);
+// "observed" records live campaign/step/job spans plus the full
+// sched/listener metrics registry. The no-op path must be free and the
+// instrumented run should stay within a few percent of it (EXPERIMENTS.md
+// tracks the measured ratios, target < 2%).
+func BenchmarkObservedCampaign(b *testing.B) {
+	const steps = 20
+	scenario := func(b *testing.B) *core.Scenario {
+		s, err := core.DownscaledScenario(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.PostQueueWait = 0
+		return s
+	}
+	b.Run("noop", func(b *testing.B) {
+		s := scenario(b)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Campaign(s, steps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		s := scenario(b)
+		var o *obs.Observer
+		for i := 0; i < b.N; i++ {
+			// Fresh observer per run: spans accumulate per campaign, and a
+			// real caller traces one campaign per observer.
+			o = obs.New("campaign", nil)
+			s.Obs = o
+			if _, err := core.Campaign(s, steps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Fault-free: the full hierarchy must have been traced.
+		if spans := o.Spans(); len(spans) < 2*steps+1 {
+			b.Fatalf("observed campaign recorded %d spans, want >= %d", len(spans), 2*steps+1)
 		}
 	})
 }

@@ -43,6 +43,19 @@
 // report and (with -decisions) the scrub decision log are printed:
 //
 //	workflow-sim -campaign 20 -out run/ -bitrot 0.5 -scrub 300 -decisions
+//
+// With -cost, the three headline workflow variants rerun instrumented and
+// a per-phase cost report prices each span category in node-hours under
+// the Titan charge policy (1 node-hour = 30 core-hours), reproducing the
+// paper's in-situ vs off-line vs co-scheduled accounting. -trace FILE
+// exports the spans as Chrome trace-event JSON (chrome://tracing,
+// Perfetto), -spantree FILE writes a plain-text span tree, and -metrics
+// prints every observer's metrics registry; combined with -campaign, the
+// artifacts cover the live campaign (campaign → step → job spans). All
+// artifacts are byte-identical across runs for a fixed seed:
+//
+//	workflow-sim -cost -trace trace.json -spantree spans.txt -metrics
+//	workflow-sim -campaign 20 -trace campaign.json -cost
 package main
 
 import (
@@ -56,6 +69,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -89,6 +103,10 @@ func main() {
 		crashStep  = flag.Int("crash-step", 0, "with -out/-resume: kill the engine mid-write of this step's Level 2 file, leaving a torn file")
 		bitrot     = flag.Float64("bitrot", 0, "with -out/-resume: per-product at-rest bit-rot probability (seeded, length-preserving flips; detected and repaired via the lineage ledger)")
 		scrub      = flag.Float64("scrub", 0, "with -out/-resume: co-schedule background scrub jobs every SEC virtual seconds re-verifying committed products")
+		cost       = flag.Bool("cost", false, "per-phase cost accounting for the three headline workflows under the Titan charge policy; with -campaign, also price the campaign's job spans")
+		tracePath  = flag.String("trace", "", "write Chrome trace-event JSON of all instrumented runs to FILE (deterministic bytes per seed)")
+		spanPath   = flag.String("spantree", "", "write a plain-text span tree of all instrumented runs to FILE")
+		metrics    = flag.Bool("metrics", false, "print every instrumented run's metrics registry (deterministic encode order)")
 	)
 	flag.Parse()
 	// The gray profile is validated at the flag boundary: a malformed
@@ -100,6 +118,17 @@ func main() {
 			log.Fatal(err)
 		}
 		grayP = &p
+	}
+	// Observability: -cost/-trace/-spantree/-metrics instrument the runs
+	// they accompany. A campaign-mode invocation gets a live observer
+	// (campaign → step → job spans); -cost additionally reruns the three
+	// headline workflows instrumented. Observers accumulate here and are
+	// exported together at the end.
+	observe := *cost || *tracePath != "" || *spanPath != "" || *metrics
+	var observers []*obs.Observer
+	var campObs *obs.Observer
+	if observe && (*campaign > 0 || *resumeDir != "" || *all) {
+		campObs = obs.New("campaign", nil)
 	}
 	ran := false
 	run := func(enabled bool, fn func(int64) error) {
@@ -134,9 +163,17 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *cost {
+		ran = true
+		costObs, err := costStudy(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		observers = append(observers, costObs...)
+	}
 	if *resumeDir != "" {
 		ran = true
-		if err := persistedCampaign(*seed, 0, *resumeDir, *crashTime, *crashStep, *faultSeed, *bitrot, *scrub, *decisions); err != nil {
+		if err := persistedCampaign(*seed, 0, *resumeDir, *crashTime, *crashStep, *faultSeed, *bitrot, *scrub, *decisions, campObs); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
@@ -149,14 +186,29 @@ func main() {
 		}
 		var err error
 		if *outDir != "" {
-			err = persistedCampaign(*seed, n, *outDir, *crashTime, *crashStep, *faultSeed, *bitrot, *scrub, *decisions)
+			err = persistedCampaign(*seed, n, *outDir, *crashTime, *crashStep, *faultSeed, *bitrot, *scrub, *decisions, campObs)
 		} else {
-			err = campaignStudy(*seed, n, grayP, *stepBudget, *decisions)
+			err = campaignStudy(*seed, n, grayP, *stepBudget, *decisions, campObs)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
+	}
+	if campObs != nil {
+		observers = append(observers, campObs)
+		if *cost {
+			rep := obs.Cost(campObs, obs.TitanChargePolicy())
+			if err := rep.WriteTable(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+	if len(observers) > 0 {
+		if err := dumpArtifacts(observers, *tracePath, *spanPath, *metrics); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if !ran {
 		flag.Usage()
@@ -265,7 +317,7 @@ func resilienceStudy(seed, faultSeed int64, grayP *fault.Profile) error {
 // crash once and then complete. bitrot > 0 injects seeded at-rest
 // corruption into committed products; scrub > 0 co-schedules background
 // scrub jobs at that interval.
-func persistedCampaign(seed int64, steps int, dir string, crashTime float64, crashStep int, faultSeed int64, bitrot, scrub float64, decisions bool) error {
+func persistedCampaign(seed int64, steps int, dir string, crashTime float64, crashStep int, faultSeed int64, bitrot, scrub float64, decisions bool, o *obs.Observer) error {
 	// Peek at the journal for the generation count and, on resume, the
 	// pinned campaign parameters.
 	gen := 0
@@ -305,6 +357,7 @@ func persistedCampaign(seed int64, steps int, dir string, crashTime float64, cra
 	if scrub > 0 {
 		s.Scrub = &core.ScrubPolicy{Interval: scrub}
 	}
+	s.Obs = o
 	rep, err := core.ResumableCampaign(s, steps, dir, seed)
 	if errors.Is(err, core.ErrCampaignCrashed) {
 		fmt.Printf("Campaign crashed (generation %d); the journal under %s holds all committed work.\n", gen, dir)
@@ -336,12 +389,13 @@ func persistedCampaign(seed int64, steps int, dir string, crashTime float64, cra
 	return nil
 }
 
-func campaignStudy(seed int64, steps int, grayP *fault.Profile, stepBudget float64, decisions bool) error {
+func campaignStudy(seed int64, steps int, grayP *fault.Profile, stepBudget float64, decisions bool, o *obs.Observer) error {
 	s, err := core.DownscaledScenario(seed)
 	if err != nil {
 		return err
 	}
 	s.PostQueueWait = 0
+	s.Obs = o
 	if grayP != nil {
 		s.Faults = grayP
 		if stepBudget > 0 {

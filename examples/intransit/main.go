@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/halo"
 	"repro/internal/ic"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/transit"
 )
 
@@ -52,6 +54,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Staging metrics: counters only (deliveries run on real goroutines,
+	// so per-item spans would not be deterministic — see internal/obs).
+	observer := obs.New("intransit", nil)
+	stage.SetObs(observer)
 
 	// Co-scheduled analysis consumers: 2 workers drain the stage and
 	// compute MBP centers for every staged halo.
@@ -147,6 +153,10 @@ func main() {
 		fmt.Printf("  step %2d halo %6d (%4d particles): MBP tag %d\n", r.step, r.haloTag, r.count, r.mbpTag)
 	}
 	mu.Unlock()
+	fmt.Println("\nstaging metrics:")
+	if err := observer.Metrics().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // stagedHalo is the in-memory Level 2 payload handed through the device.

@@ -130,6 +130,11 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 
 	var sim des.Sim
 	inj := s.injector()
+	// The observer's clock is the engine's clock: spans and metrics are
+	// stamped with virtual time, so trace output for a fixed seed is
+	// byte-identical across runs (the determinism contract in obs).
+	s.Obs.SetClock(sim.Now)
+	camp := s.Obs.Begin("campaign", s.Name)
 	storage := fs.New(&sim, "lustre")
 	storage.SetFaults(inj)
 	if h.onSetup != nil {
@@ -154,6 +159,11 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	sup := s.supervision(&sim)
 	simCluster.Supervise = sup
 	postCluster.Supervise = sup
+	simCluster.Obs = s.Obs
+	postCluster.Obs = s.Obs
+	if sup != nil {
+		sup.Obs = s.Obs
+	}
 	pl := newStepPlanner(s, ph, inj, deg, ph.l2Write, perStepPost)
 	rep := &CampaignReport{Timesteps: timesteps}
 	// Hedged backups re-run the primary's OnStart and rescued analysis
@@ -162,11 +172,18 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	landedOnce := map[int]bool{}
 	postOnce := map[int]bool{}
 	stepLanded := func(step int) {
-		if h.onStepLanded == nil || landedOnce[step] {
+		if landedOnce[step] {
 			return
 		}
 		landedOnce[step] = true
-		h.onStepLanded(step)
+		if s.Obs != nil {
+			m := s.Obs.Metrics()
+			m.Counter("core.l2_files_landed").Inc()
+			m.Counter("core.l2_bytes_landed").Add(ph.levels.Level2Bytes)
+		}
+		if h.onStepLanded != nil {
+			h.onStepLanded(step)
+		}
 	}
 	postDone := func(step int) {
 		if h.onPostDone == nil || postOnce[step] {
@@ -182,6 +199,7 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 		Prefix:       "l2/",
 		PollInterval: s.ListenerPoll,
 		Faults:       inj,
+		Obs:          s.Obs,
 		MakeJob: func(path string, f *fs.File) *sched.Job {
 			seq++
 			step := seq
@@ -223,6 +241,16 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 				sim.At(at, func() {
 					if j.Attempt != attempt {
 						return // this attempt failed before reaching the step
+					}
+					if s.Obs != nil {
+						// The step's segment ends here; lay its span down
+						// retroactively under the campaign root. Uncharged:
+						// the sim job's span already carries these nodes.
+						dur, degraded := pl.stepDur(step)
+						sp := s.Obs.SpanAt(camp, "step", fmt.Sprintf("step-%03d", step), at-dur, at)
+						if degraded {
+							sp.Arg("degraded", "spilled centers off-line")
+						}
 					}
 					redriveWrite(&sim, storage, &rep.Resilience,
 						l2Path(step), ph.levels.Level2Bytes, writeRedriveDelay, 0, func() {
@@ -290,11 +318,13 @@ func runCampaign(s *Scenario, timesteps int, h campaignHooks) (*CampaignReport, 
 	if h.runUntil > 0 {
 		sim.RunUntil(h.runUntil)
 		if sim.Pending() > 0 {
+			camp.Arg("crashed", "injected process crash").Done()
 			return rep, true, nil // the injected crash struck mid-campaign
 		}
 	} else {
 		sim.Run()
 	}
+	camp.Done()
 	rep.Resilience.addCluster(simCluster)
 	rep.Resilience.addCluster(postCluster)
 	rep.Resilience.addFS(storage)

@@ -184,6 +184,7 @@ func ResumableCampaign(s *Scenario, timesteps int, outDir string, seed int64) (r
 		engineSim, engineFS = sim, storage
 		if scr != nil {
 			scr.Now = sim.Now
+			scr.Obs = s.Obs
 		}
 		// Products surviving from earlier incarnations rot too: each
 		// generation draws fresh, (path, generation)-keyed rot for them.

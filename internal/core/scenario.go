@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cosmo"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/supervise"
@@ -74,6 +75,11 @@ type Scenario struct {
 	// Campaign has no persisted products to scrub). nil disables scrubbing;
 	// zero fields take defaults (see ScrubPolicy).
 	Scrub *ScrubPolicy
+	// Obs, when set, records the run's spans (campaign → step → job) and
+	// metrics against the engine's DES clock; the campaign engine injects
+	// its clock via Obs.SetClock at setup. nil disables observability at
+	// zero cost (see internal/obs).
+	Obs *obs.Observer
 }
 
 // ScrubPolicy shapes the co-scheduled background scrubber. The zero value

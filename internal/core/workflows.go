@@ -264,6 +264,7 @@ func runInSitu(s *Scenario, ph *phases) (*Report, error) {
 	r.WallClock = sim.Now()
 	r.AnalysisCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.AnalysisSeconds+r.SimWriteSeconds)
 	r.SimCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.SimSeconds)
+	emitPhaseSpans(s, r)
 	return r, nil
 }
 
@@ -318,6 +319,7 @@ func runOffline(s *Scenario, ph *phases) (*Report, error) {
 	r.AnalysisCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.SimWriteSeconds) +
 		s.Machine.ChargeCoreHours(s.SimNodes, r.PostJobTotal())
 	r.SimCoreHours = s.Machine.ChargeCoreHours(s.SimNodes, r.SimSeconds)
+	emitPhaseSpans(s, r)
 	return r, nil
 }
 
@@ -505,5 +507,6 @@ func runCombined(s *Scenario, ph *phases, kind Kind) (*Report, error) {
 		// reports what it would cost on equivalent hardware.
 		r.Queueing = "partial simult"
 	}
+	emitPhaseSpans(s, r)
 	return r, nil
 }

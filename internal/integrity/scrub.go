@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 )
 
 // Stats accounts one campaign's integrity activity. All fields are zero
@@ -70,6 +71,10 @@ type Scrubber struct {
 	// Stats accumulates across sweeps.
 	Stats Stats
 
+	// Obs mirrors scrub verdicts (verified passes and every decision-log
+	// event) into scrub.* counters; nil disables instrumentation.
+	Obs *obs.Observer
+
 	decisions []Decision
 	cursor    int
 }
@@ -90,6 +95,11 @@ func (s *Scrubber) now() float64 {
 
 func (s *Scrubber) decide(path, event, note string) {
 	s.decisions = append(s.decisions, Decision{T: s.now(), Path: path, Event: event, Note: note})
+	// Every scrub verdict flows through here; the metric mirror rides
+	// the same choke point as the decision log.
+	if s.Obs != nil {
+		s.Obs.Metrics().Counter("scrub." + event).Inc()
+	}
 }
 
 // Verify checks a product's on-disk bytes against its ledger record
@@ -116,6 +126,9 @@ func (s *Scrubber) CheckRepair(p Product) bool {
 	err := s.Verify(p)
 	if err == nil {
 		s.Stats.Verified++
+		if s.Obs != nil {
+			s.Obs.Metrics().Counter("scrub.verified").Inc()
+		}
 		return true
 	}
 	s.Stats.Corruptions++

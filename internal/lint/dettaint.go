@@ -20,7 +20,9 @@ import (
 // summaries, and reports only when such a value reaches a product
 // write: an exported Write*/Commit*/Append*/Save*/Put*/Merge* call in
 // the gio, catalog, ckpt, or fs packages (matched by package name so
-// fixtures participate).
+// fixtures participate) — or a span timestamp in the obs package
+// (BeginAt/EndAt/SpanAt), whose traces the determinism CI gate
+// byte-compares across runs.
 //
 // The paper's premise is that in-situ reductions replace raw dumps as
 // the analysis record; a product whose bytes depend on wall-clock time,
@@ -139,6 +141,49 @@ func detSinks(v *ssa.Value) []taint.SinkUse {
 	return uses
 }
 
+// detObsTimeArgs maps obs-package span methods to their timestamp
+// parameter positions (receiver excluded). Span times must come from
+// the injected DES clock; a wall-clock value here makes the trace
+// non-reproducible across the re-runs the determinism CI gate compares.
+// Passing time.Now *as the clock function* to New/SetClock is the
+// sanctioned injection point and is not a sink — only sampled values
+// flowing into timestamps are.
+var detObsTimeArgs = map[string][]int{
+	"BeginAt": {2},    // (cat, name, t)
+	"EndAt":   {0},    // (t)
+	"SpanAt":  {3, 4}, // (parent, cat, name, start, end)
+}
+
+// detObsSinks lists the span-timestamp operands of one instruction.
+func detObsSinks(v *ssa.Value) []taint.SinkUse {
+	if v.Op != ssa.OpCall || v.Callee == nil {
+		return nil
+	}
+	fn := v.Callee
+	if fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return nil
+	}
+	params, ok := detObsTimeArgs[fn.Name()]
+	if !ok {
+		return nil
+	}
+	var uses []taint.SinkUse
+	for _, p := range params {
+		i := p
+		if v.RecvArg {
+			i = p + 1
+		}
+		if i >= len(v.Args) {
+			continue
+		}
+		uses = append(uses, taint.SinkUse{
+			Arg:  v.Args[i],
+			Sink: fmt.Sprintf("obs.%s (time arg %d)", fn.Name(), p),
+		})
+	}
+	return uses
+}
+
 // detSanitizer: calls whose results are clean regardless of arguments.
 func detSanitizer(v *ssa.Value) bool {
 	return v.Op == ssa.OpCall && v.Callee != nil && isPkgFunc(v.Callee, "time", "Since")
@@ -166,7 +211,7 @@ func runDetTaint(pass *analysis.Pass) (any, error) {
 	engine := &taint.Engine{
 		Spec: taint.Spec{
 			Source:           detSource(pass.TypesInfo),
-			Sinks:            detSinks,
+			Sinks:            func(v *ssa.Value) []taint.SinkUse { return append(detSinks(v), detObsSinks(v)...) },
 			Sanitizer:        detSanitizer,
 			InPlaceSanitizer: detInPlace,
 		},

@@ -9,5 +9,6 @@ import (
 
 func TestDetTaint(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), lint.DetTaint,
-		"dettaint_flagged", "dettaint_clean", "dettaint_allow", "dettaint_xpkg")
+		"dettaint_flagged", "dettaint_clean", "dettaint_allow", "dettaint_xpkg",
+		"dettaint_obs_flagged", "dettaint_obs_clean")
 }

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chrome trace-event export.
+//
+// The format is the chrome://tracing / Perfetto "JSON Array Format":
+// complete events (ph:"X") with microsecond ts/dur, grouped by pid
+// (observer) and tid (span category), plus process_name / thread_name
+// metadata events so the viewer labels lanes. The encoder is hand-
+// rolled with a fixed field order and strconv float formatting —
+// encoding/json map iteration would randomize field order and break the
+// byte-identical-artifacts CI gate.
+
+// WriteTrace writes the observers' spans as one Chrome trace-event JSON
+// document. Each observer becomes a trace "process" (pid = index+1,
+// process_name = observer name); each span category becomes a "thread"
+// lane in first-seen order. Nil observers are skipped.
+func WriteTrace(w io.Writer, observers ...*Observer) error {
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(s)
+	}
+	pid := 0
+	for _, o := range observers {
+		if o == nil {
+			continue
+		}
+		pid++
+		name := o.Name()
+		if name == "" {
+			name = fmt.Sprintf("observer-%d", pid)
+		}
+		emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":%s}}", pid, quote(name)))
+		// tid per category, allocated in first-seen (deterministic) order.
+		tids := map[string]int{}
+		for _, sp := range o.Spans() {
+			tid, ok := tids[sp.Cat]
+			if !ok {
+				tid = len(tids) + 1
+				tids[sp.Cat] = tid
+				emit(fmt.Sprintf("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}", pid, tid, quote(sp.Cat)))
+			}
+			emit(completeEvent(pid, tid, sp))
+		}
+	}
+	b.WriteString("],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// completeEvent renders one ph:"X" event. Virtual seconds → integer
+// microseconds (exact for the cost model's millisecond-granularity
+// times, and deterministic regardless).
+func completeEvent(pid, tid int, sp *Span) string {
+	var b strings.Builder
+	b.WriteString("{\"ph\":\"X\",\"pid\":")
+	fmt.Fprintf(&b, "%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%s,\"cat\":%s",
+		pid, tid, usec(sp.Start), usec(sp.Duration()), quote(sp.Name), quote(sp.Cat))
+	b.WriteString(",\"args\":{")
+	fmt.Fprintf(&b, "\"id\":%d,\"parent\":%d", sp.ID, sp.Parent)
+	if sp.Machine != "" || sp.Nodes != 0 {
+		fmt.Fprintf(&b, ",\"machine\":%s,\"nodes\":%d", quote(sp.Machine), sp.Nodes)
+	}
+	for _, kv := range sp.Args {
+		fmt.Fprintf(&b, ",%s:%s", quote(kv[0]), quote(kv[1]))
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+func usec(sec float64) int64 {
+	return int64(sec*1e6 + 0.5)
+}
+
+// quote JSON-escapes a string. Span names and args are ASCII by
+// construction, but escape defensively.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// WriteSpanTree writes a plain-text indented rendering of an observer's
+// span forest — the human-readable twin of the trace JSON, and the
+// easier artifact to cmp or grep in CI.
+func WriteSpanTree(w io.Writer, o *Observer) error {
+	if o == nil {
+		return nil
+	}
+	spans := o.Spans()
+	children := make(map[int][]*Span, len(spans))
+	var roots []*Span
+	for _, sp := range spans {
+		if sp.Parent < 0 {
+			roots = append(roots, sp)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# span tree: %s (%d spans)\n", o.Name(), len(spans))
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s/%s [%s, %s] dur=%s", sp.Cat, sp.Name, ftoa(sp.Start), ftoa(sp.End), ftoa(sp.Duration()))
+		if sp.Nodes > 0 {
+			fmt.Fprintf(&b, " %s×%d", sp.Machine, sp.Nodes)
+		}
+		for _, kv := range sp.Args {
+			fmt.Fprintf(&b, " %s=%s", kv[0], kv[1])
+		}
+		b.WriteByte('\n')
+		for _, c := range children[sp.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, 0)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fakeClock is a settable deterministic clock.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64 { return c.t }
+
+func TestNilObserverInert(t *testing.T) {
+	var o *Observer
+	o.SetClock(func() float64 { return 1 })
+	sp := o.Begin("cat", "x")
+	if sp != nil {
+		t.Fatalf("nil observer Begin = %v, want nil", sp)
+	}
+	// Every span method must tolerate nil.
+	sp.Done()
+	sp.EndAt(5)
+	sp.Arg("k", "v").ArgF("f", 1.5).Charge("Titan", 4)
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %g", d)
+	}
+	if got := o.Spans(); got != nil {
+		t.Fatalf("nil observer Spans = %v", got)
+	}
+	reg := o.Metrics()
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(3)
+	reg.Histogram("h", []float64{1}).Observe(2)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry WriteText = %q, %v", buf.String(), err)
+	}
+	if err := WriteTrace(&buf, o, nil); err != nil {
+		t.Fatalf("WriteTrace(nil observers): %v", err)
+	}
+	if err := WriteSpanTree(&buf, o); err != nil {
+		t.Fatalf("WriteSpanTree(nil): %v", err)
+	}
+}
+
+func TestSpanTreeAndClock(t *testing.T) {
+	clk := &fakeClock{}
+	o := New("test", nil)
+	o.SetClock(clk.now)
+	root := o.Begin("campaign", "c8")
+	clk.t = 10
+	step := o.BeginUnder(root, "step", "step-000")
+	clk.t = 25
+	job := o.BeginUnder(step, "job", "post-000#1").Charge("Moonlight", 4)
+	clk.t = 40
+	job.Done()
+	step.EndAt(50)
+	clk.t = 60
+	// Retroactive span under root.
+	o.SpanAt(root, "phase", "sim", 0, 55).Charge("Titan", 32)
+	root.Done()
+
+	spans := o.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[2].Start != 25 || spans[2].End != 40 || spans[2].Parent != spans[1].ID {
+		t.Fatalf("job span = %+v", *spans[2])
+	}
+	if spans[0].End != 60 {
+		t.Fatalf("root end = %g, want 60", spans[0].End)
+	}
+	var tree bytes.Buffer
+	if err := WriteSpanTree(&tree, o); err != nil {
+		t.Fatal(err)
+	}
+	out := tree.String()
+	for _, want := range []string{
+		"campaign/c8 [0, 60] dur=60",
+		"  step/step-000 [10, 50] dur=40",
+		"    job/post-000#1 [25, 40] dur=15 Moonlight×4",
+		"  phase/sim [0, 55] dur=55 Titan×32",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("span tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEndIsIdempotentAndClamped(t *testing.T) {
+	clk := &fakeClock{t: 5}
+	o := New("t", clk.now)
+	sp := o.Begin("c", "n")
+	clk.t = 9
+	sp.Done()
+	clk.t = 100
+	sp.Done() // second End must not move the stamp
+	if sp.Duration() != 4 {
+		t.Fatalf("duration = %g, want 4", sp.Duration())
+	}
+	early := o.BeginAt("c", "back", 50)
+	early.EndAt(10) // clamped: spans never run backwards
+	if early.End != 50 {
+		t.Fatalf("clamped end = %g, want 50", early.End)
+	}
+}
+
+func TestTraceDeterministicBytes(t *testing.T) {
+	build := func() *Observer {
+		clk := &fakeClock{}
+		o := New("det", clk.now)
+		r := o.Begin("campaign", "c")
+		for i := 0; i < 3; i++ {
+			clk.t = float64(i * 10)
+			s := o.BeginUnder(r, "step", "s").ArgF("i", float64(i))
+			clk.t += 5
+			s.Done()
+		}
+		clk.t = 100
+		r.Done()
+		o.Metrics().Counter("sched.jobs_submitted").Add(3)
+		o.Metrics().Histogram("sched.queue_wait_seconds", []float64{1, 10, 100}).Observe(7)
+		return o
+	}
+	var t1, t2, m1, m2, s1, s2 bytes.Buffer
+	a, b := build(), build()
+	if err := WriteTrace(&t1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&t2, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatalf("trace JSON differs across identical runs:\n%s\n---\n%s", t1.String(), t2.String())
+	}
+	if err := a.Metrics().WriteText(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Metrics().WriteText(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Fatalf("metrics text differs:\n%s\n---\n%s", m1.String(), m2.String())
+	}
+	if err := WriteSpanTree(&s1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpanTree(&s2, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+		t.Fatalf("span tree differs")
+	}
+	// Sanity on the JSON surface: metadata + fixed field order.
+	for _, want := range []string{
+		`"ph":"M"`, `"process_name"`, `{"ph":"X","pid":1,"tid":1,"ts":0,"dur":100000000,"name":"c","cat":"campaign"`,
+	} {
+		if !strings.Contains(t1.String(), want) {
+			t.Fatalf("trace missing %q:\n%s", want, t1.String())
+		}
+	}
+}
+
+func TestRegistryEncodeOrderAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(2)
+	r.Counter("a.first").Inc()
+	r.Gauge("mid").Set(7)
+	r.Gauge("mid").Set(3) // max stays 7
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter a.first 1\n" +
+		"counter z.last 2\n" +
+		"gauge mid 3 max=7\n" +
+		"histogram lat count=3 sum=55.5 le1=1 le10=1 inf=1\n"
+	if buf.String() != want {
+		t.Fatalf("registry encode:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	bounds := []float64{1, 10, 100, 1000}
+	fill := func(obs []float64) *Histogram {
+		h := NewHistogram(bounds)
+		for _, v := range obs {
+			// Fold quick's arbitrary float64s into a workload-shaped
+			// range; bucket counts must still merge exactly.
+			h.Observe(math.Abs(math.Mod(v, 2000)))
+		}
+		return h
+	}
+	eq := func(a, b *Histogram) bool {
+		ca, cb := a.Counts(), b.Counts()
+		if len(ca) != len(cb) || a.Count() != b.Count() {
+			return false
+		}
+		// Bucket counts are integers: merge order must not change them
+		// at all. The float sum is associative only up to rounding.
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+		diff := math.Abs(a.Sum() - b.Sum())
+		scale := math.Max(math.Abs(a.Sum()), 1)
+		return diff <= 1e-9*scale
+	}
+	// (A⊕B)⊕C == A⊕(B⊕C) for arbitrary observation sets.
+	prop := func(xs, ys, zs []float64) bool {
+		left := fill(xs)
+		if err := left.Merge(fill(ys)); err != nil {
+			return false
+		}
+		if err := left.Merge(fill(zs)); err != nil {
+			return false
+		}
+		bc := fill(ys)
+		if err := bc.Merge(fill(zs)); err != nil {
+			return false
+		}
+		right := fill(xs)
+		if err := right.Merge(bc); err != nil {
+			return false
+		}
+		return eq(left, right)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 3})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched bounds succeeded")
+	}
+	c := NewHistogram([]float64{1})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge of different bound counts succeeded")
+	}
+}
+
+func TestCostReportMath(t *testing.T) {
+	clk := &fakeClock{}
+	o := New("costy", clk.now)
+	// 32 Titan nodes for 3600 s → 32 node-hours → 960 core-hours at 30×.
+	o.SpanAt(nil, "phase", "sim", 0, 3600).Charge("Titan", 32)
+	// 4 Moonlight nodes for 1800 s → 2 node-hours → 32 core-hours at 16×.
+	o.SpanAt(nil, "phase", "post-analysis", 3600, 5400).Charge("Moonlight", 4)
+	// Queue wait: wall time but zero nodes → zero charge.
+	o.SpanAt(nil, "queue", "post-queue", 3600, 4000)
+	r := Cost(o, TitanChargePolicy())
+	if len(r.Lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (phase, queue)", len(r.Lines))
+	}
+	phase := r.Lines[0]
+	if phase.Category != "phase" || phase.Spans != 2 {
+		t.Fatalf("phase line = %+v", phase)
+	}
+	if phase.NodeHours != 34 || phase.CoreHours != 992 {
+		t.Fatalf("phase cost = %g nh / %g ch, want 34 / 992", phase.NodeHours, phase.CoreHours)
+	}
+	q := r.Lines[1]
+	if q.Seconds != 400 || q.CoreHours != 0 {
+		t.Fatalf("queue line = %+v", q)
+	}
+	if r.CoreHours() != 992 {
+		t.Fatalf("total core-hours = %g", r.CoreHours())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "policy titan") || !strings.Contains(buf.String(), "total") {
+		t.Fatalf("cost table:\n%s", buf.String())
+	}
+}
+
+func TestChargePolicyFallback(t *testing.T) {
+	p := TitanChargePolicy()
+	if p.Factor("Titan") != 30 || p.Factor("Rhea") != 16 {
+		t.Fatal("known machine factors wrong")
+	}
+	if p.Factor("unknown-cluster") != 16 {
+		t.Fatal("default factor not applied")
+	}
+}

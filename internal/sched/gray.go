@@ -99,6 +99,7 @@ func (c *Cluster) escalate(j *Job, r supervise.Reason) {
 func (c *Cluster) launchHedge(p *Job, r supervise.Reason) {
 	p.hedges++
 	c.HedgesLaunched++
+	c.obsCount("sched.hedges_launched")
 	b := &Job{
 		Name:     fmt.Sprintf("%s~h%d", p.Name, p.hedges),
 		Nodes:    p.Nodes,
@@ -123,6 +124,7 @@ func (c *Cluster) launchHedge(p *Job, r supervise.Reason) {
 func (c *Cluster) hedgeWin(b, p *Job) {
 	now := c.Sim.Now()
 	c.HedgeWins++
+	c.obsCount("sched.hedge_wins")
 	c.Supervise.Note(jobKey(p), "hedge-win", fmt.Sprintf("backup %s finished first", b.Name))
 	c.cancelJob(p, "lost the race to its backup")
 	p.hedge = nil
@@ -143,6 +145,7 @@ func (c *Cluster) declareLost(j *Job, r supervise.Reason) {
 	c.cancelJob(j, string(r))
 	j.Failed = true
 	c.LostJobs++
+	c.obsCount("sched.jobs_lost")
 	if j.OnGiveUp != nil {
 		j.OnGiveUp(j)
 	}
@@ -159,6 +162,7 @@ func (c *Cluster) cancelJob(j *Job, why string) {
 	}
 	j.cancelled = true
 	c.superviseForget(j)
+	c.obsEnd(j, "cancelled")
 	c.Supervise.Note(jobKey(j), "cancel", why)
 	j.Attempt++ // orphan queued events for the cancelled attempt
 	if j.Started {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/fault"
 	"repro/internal/fs"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/supervise"
 )
@@ -70,6 +71,10 @@ type Job struct {
 	hedgeOf   *Job
 	hedges    int
 	cancelled bool
+
+	// span is the current attempt's trace span (nil when the cluster is
+	// uninstrumented); see obs.go.
+	span *obs.Span
 }
 
 // QueueWait returns how long the job waited beyond its submission
@@ -149,6 +154,9 @@ type Cluster struct {
 	// stragglers, hedged re-execution — see gray.go); nil disables it and
 	// reproduces the unsupervised event sequence exactly.
 	Supervise *supervise.Supervisor
+	// Obs records job spans and queue metrics against the DES clock; nil
+	// disables instrumentation entirely (see obs.go).
+	Obs *obs.Observer
 
 	freeNodes    int
 	pending      []*Job
@@ -238,6 +246,7 @@ func (c *Cluster) Submit(j *Job) error {
 	if len(c.pending) > c.MaxPendingSeen {
 		c.MaxPendingSeen = len(c.pending)
 	}
+	c.obsSubmit(j)
 	c.Sim.At(j.EligibleTime, c.trySchedule)
 	return nil
 }
@@ -272,6 +281,7 @@ func (c *Cluster) start(j *Job) {
 		c.runningSmall++
 	}
 	c.Attempts++
+	c.obsStart(j)
 	if j.OnStart != nil {
 		j.OnStart(j)
 	}
@@ -308,6 +318,7 @@ func (c *Cluster) start(j *Job) {
 
 func (c *Cluster) complete(j *Job) {
 	c.superviseDone(j)
+	c.obsEnd(j, "ok")
 	j.Completed = true
 	j.EndTime = c.Sim.Now()
 	c.freeNodes += j.Nodes
@@ -340,6 +351,7 @@ func (c *Cluster) complete(j *Job) {
 func (c *Cluster) fail(j *Job) {
 	now := c.Sim.Now()
 	c.superviseForget(j)
+	c.obsEnd(j, "failed")
 	c.freeNodes += j.Nodes
 	if c.isSmall(j) {
 		c.runningSmall--
@@ -362,6 +374,7 @@ func (c *Cluster) fail(j *Job) {
 	}
 	if j.Attempt < c.Retry.MaxAttempts {
 		c.Resubmits++
+		c.obsCount("sched.resubmits")
 		delay := c.Retry.delay(c.Faults, j.Name, j.Attempt)
 		attempt := j.Attempt // a cancel during backoff orphans the resubmit
 		c.Sim.After(delay, func() {
@@ -372,6 +385,7 @@ func (c *Cluster) fail(j *Job) {
 	} else {
 		j.Failed = true
 		c.LostJobs++
+		c.obsCount("sched.jobs_lost")
 		if p := j.hedgeOf; p != nil {
 			// A backup died with its retries exhausted: escalate back to
 			// the (still-suspect) primary so a stalled primary doesn't
@@ -415,6 +429,8 @@ type Listener struct {
 	// open it (submissions skipped until the cooldown), a half-open probe
 	// rediscovers a recovered front-end. nil means no breaking.
 	Breaker *supervise.Breaker
+	// Obs records poll/submit counters; nil disables instrumentation.
+	Obs *obs.Observer
 
 	seen        map[string]bool
 	submitTries map[string]int
@@ -498,7 +514,9 @@ func (l *Listener) poll() {
 	l.Polls++
 	if l.Faults.ListenerDown(l.Sim.Now()) {
 		l.MissedPolls++
+		l.obsPoll(true)
 	} else {
+		l.obsPoll(false)
 		l.sweep()
 	}
 	l.Sim.After(l.PollInterval, l.poll)
@@ -519,6 +537,7 @@ func (l *Listener) sweep() {
 		}
 		if !l.Breaker.Allow() {
 			l.BreakerSkips++
+			l.obsCount("listener.breaker_skips")
 			continue // the front-end is sick; back off instead of hot-looping
 		}
 		f, err := l.FS.Stat(path)
@@ -532,6 +551,7 @@ func (l *Listener) sweep() {
 		l.submitTries[path] = try + 1
 		if l.Faults.SubmitFail(path, try) {
 			l.SubmitFaults++
+			l.obsCount("listener.submit_faults")
 			l.Breaker.Failure()
 			continue // transient refusal; retried next poll
 		}
@@ -547,5 +567,6 @@ func (l *Listener) sweep() {
 		l.Breaker.Success()
 		l.seen[path] = true
 		l.Submitted++
+		l.obsCount("listener.submitted")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // Policy tunes the three gray-failure detectors and the hedging budget.
@@ -145,6 +146,10 @@ type Supervisor struct {
 	// Suspects counts suspicion events; Watched counts Watch calls.
 	Suspects int
 	Watched  int
+
+	// Obs mirrors every decision-log event into a per-event counter
+	// (supervise.<event>); nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // New builds a supervisor on the simulation clock. Zero policy fields fall
@@ -322,6 +327,11 @@ func (sv *Supervisor) Note(task, event, note string) {
 
 func (sv *Supervisor) record(event, task, note string) {
 	sv.decisions = append(sv.decisions, Decision{T: sv.sim.Now(), Task: task, Event: event, Note: note})
+	// record is the one choke point every supervision decision flows
+	// through, so the metric mirror lives here and nowhere else.
+	if sv.Obs != nil {
+		sv.Obs.Metrics().Counter("supervise." + event).Inc()
+	}
 }
 
 // Decisions returns the decision log in event order — deterministic for a

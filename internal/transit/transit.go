@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/integrity"
+	"repro/internal/obs"
 )
 
 // Item is one staged data product.
@@ -103,6 +104,11 @@ type Stage struct {
 	redelivered   int64
 	reaped        int64
 	corruptCaught int64
+
+	// obs mirrors the stats into metric counters (see SetObs). Only
+	// order-independent counters, never spans: deliveries run on real
+	// goroutines, so span order would not be deterministic.
+	obs *obs.Observer
 }
 
 // NewStage creates a staging area holding at most capacity bytes.
@@ -152,8 +158,27 @@ func (s *Stage) Put(item Item) error {
 	if s.used > s.peakUsed {
 		s.peakUsed = s.used
 	}
+	if s.obs != nil {
+		m := s.obs.Metrics()
+		m.Counter("transit.items").Inc()
+		m.Counter("transit.bytes").Add(float64(item.Bytes))
+		if stalled {
+			m.Counter("transit.stalls").Inc()
+		}
+	}
 	s.notEmpty.Signal()
 	return nil
+}
+
+// SetObs attaches a metrics observer. Per the determinism contract only
+// order-independent counters are recorded here — Put/Take run on real
+// goroutines, so spans (and last-writer-wins gauges) would record
+// nondeterministically. Counter totals depend only on the *set* of
+// events, not their interleaving.
+func (s *Stage) SetObs(o *obs.Observer) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
 }
 
 // drained reports (holding mu) whether nothing can ever arrive again: the
@@ -200,6 +225,9 @@ func (s *Stage) Take() (Item, error) {
 			}
 			if integrity.Sum(delivered) != item.Sum {
 				s.corruptCaught++
+				if s.obs != nil {
+					s.obs.Metrics().Counter("transit.corrupt_caught").Inc()
+				}
 				item.Delivery++
 				if item.Delivery >= maxChecksumDeliveries {
 					return Item{}, fmt.Errorf("transit: item %q: %w (%d transfer attempts)", item.Key, ErrItemChecksum, item.Delivery)
@@ -271,6 +299,9 @@ func (s *Stage) Reap() int {
 	for _, k := range stale {
 		s.redeliverLocked(k)
 		s.reaped++
+		if s.obs != nil {
+			s.obs.Metrics().Counter("transit.reaped").Inc()
+		}
 	}
 	return len(stale)
 }
@@ -349,6 +380,9 @@ func (s *Stage) redeliverLocked(key string) {
 		s.peakUsed = s.used
 	}
 	s.redelivered++
+	if s.obs != nil {
+		s.obs.Metrics().Counter("transit.redelivered").Inc()
+	}
 	s.notEmpty.Broadcast()
 }
 
